@@ -1,0 +1,59 @@
+"""C-rate: the 250 ns/character claim and its consequences.
+
+Regenerates the introduction's quantitative claims: the chip's data rate
+(4 Mchar/s) exceeds a 1979 host's memory bandwidth; the per-character
+cost is independent of pattern length while every software approach
+degrades.
+"""
+
+from repro.analysis import Table
+from repro.chip import PrototypeChip
+from repro.host import HostBus, HostSpec
+from repro.timing import TimingModel
+
+from conftest import random_text
+
+
+def test_claim_rate_exceeds_memory_bandwidth():
+    chip = PrototypeChip()
+    hosts = [
+        HostSpec("PDP-11-class mini", memory_cycle_ns=900.0, bytes_per_word=2),
+        HostSpec("mid mini", memory_cycle_ns=600.0, bytes_per_word=2),
+        HostSpec("large mainframe", memory_cycle_ns=100.0, bytes_per_word=8),
+    ]
+    table = Table(["host", "memory Mchar/s", "chip Mchar/s", "chip faster?"],
+                  title="'higher than the memory bandwidth of most "
+                        "conventional computers'")
+    starved = 0
+    for h in hosts:
+        mem = h.memory_bandwidth_chars_per_s() / 1e6
+        chip_rate = chip.data_rate_mchars_per_s()
+        faster = HostBus(h).is_device_starved(chip.spec.beat_ns)
+        starved += faster
+        table.row([h.name, mem, chip_rate, "yes" if faster else "no"])
+    print()
+    table.print()
+    assert starved >= 2  # "most conventional computers"
+
+
+def test_claim_rate_independent_of_pattern_length(ab4, benchmark):
+    """The hardware property, measured on the simulator: beats per text
+    character do not grow with pattern length."""
+    from repro import PatternMatcher
+
+    text = random_text(600, seed=27)
+    table = Table(["pattern len", "beats", "beats/char"],
+                  title="rate vs pattern length (simulated beats)")
+    per_char = []
+    for L in (2, 4, 8):
+        m = PatternMatcher("A" * L, ab4, n_cells=L)
+        rep = m.report(text)
+        per_char.append(rep.beats / len(text))
+        table.row([L, rep.beats, rep.beats / len(text)])
+    print()
+    table.print()
+    assert max(per_char) - min(per_char) < 0.1  # constant (~2 beats/char)
+
+    tm = TimingModel()
+    assert tm.per_text_char_ns(2) == tm.per_text_char_ns(64)
+    benchmark(PatternMatcher("A" * 8, ab4).match, text)

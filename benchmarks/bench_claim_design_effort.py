@@ -1,0 +1,52 @@
+"""C-effort: the design-economics claim of Sections 2 and 5.
+
+Regenerates "the design of the pattern matching chip took only about two
+man-months" and the scaling argument: regular (replicated-cell) designs
+stay cheap as chips grow; bespoke designs do not.
+"""
+
+from repro.analysis import Table
+from repro.chip.prototype import DESIGN_EFFORT_MAN_MONTHS
+from repro.methodology.tasks import figure_4_1_graph
+from repro.timing import DesignEffortModel
+
+
+def test_claim_two_man_months():
+    model = DesignEffortModel()
+    weeks = model.prototype_weeks()
+    print(f"\nmodelled prototype effort: {weeks:.1f} weeks; "
+          f"paper: ~{DESIGN_EFFORT_MAN_MONTHS} man-months (~8.7 weeks)")
+    assert abs(weeks - DESIGN_EFFORT_MAN_MONTHS * 4.33) < 3.0
+
+
+def test_claim_regularity_collapses_cost(benchmark):
+    model = DesignEffortModel()
+
+    def sweep():
+        rows = []
+        for cells in (24, 96, 384, 1536):
+            rows.append(
+                (cells,
+                 model.regular_design_weeks(4, cells),
+                 model.irregular_design_weeks(cells))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(["cell instances", "regular (wk)", "irregular (wk)"],
+                  title="Section 2: design effort vs chip size")
+    for r in rows:
+        table.row(list(r))
+    print()
+    table.print()
+    # regular nearly flat; irregular linear
+    assert rows[-1][1] < 3 * rows[0][1]
+    assert rows[-1][2] > 50 * rows[0][1]
+
+
+def test_claim_critical_path_is_algorithm_heavy():
+    path, total = figure_4_1_graph().critical_path()
+    algorithm_share = 3.0 / total
+    print(f"\nalgorithm design is {algorithm_share:.0%} of the "
+          f"critical path ({total} weeks)")
+    assert algorithm_share > 0.3

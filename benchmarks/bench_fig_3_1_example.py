@@ -1,0 +1,43 @@
+"""F3-1: Figure 3-1 -- the chip's I/O contract and the AXC example.
+
+Regenerates the figure's data: pattern AXC over the example text sets
+result bits exactly where A?C windows end, and measures the behavioural
+chip's streaming throughput.
+"""
+
+from repro import PatternMatcher, match_oracle
+from repro.analysis import Table
+
+from conftest import random_text
+
+TEXT = "ABCAACACCAB"
+
+#: The figure's own text prefix: matches end at r2, r5 and r6 (the
+#: overlapping substrings ABC, AAC, ACC of s0..s6 = A B C A A C C).
+PAPER_TEXT = "ABCAACC"
+
+
+def test_fig_3_1_paper_text_sets_r2_r5_r6(ab4):
+    matcher = PatternMatcher("AXC", ab4)
+    results = matcher.match(PAPER_TEXT)
+    assert [i for i, r in enumerate(results) if r] == [2, 5, 6]
+
+
+def test_fig_3_1_example_bits(ab4, benchmark):
+    matcher = PatternMatcher("AXC", ab4)
+    results = benchmark(matcher.match, TEXT)
+    assert [i for i, r in enumerate(results) if r] == [2, 5, 8]
+
+    table = Table(["i", "char", "window", "r_i"], title="Figure 3-1: pattern AXC")
+    for i, (c, r) in enumerate(zip(TEXT, results)):
+        window = TEXT[max(0, i - 2) : i + 1] if i >= 2 else "-"
+        table.row([i, c, window, int(r)])
+    print()
+    table.print()
+
+
+def test_fig_3_1_streaming_throughput(ab4, benchmark):
+    matcher = PatternMatcher("AXC", ab4)
+    text = random_text(2000)
+    results = benchmark(matcher.match, text)
+    assert results == match_oracle(matcher.pattern, list(text))

@@ -1,0 +1,47 @@
+"""F3-2: Figure 3-2 -- the beat-by-beat character choreography.
+
+Regenerates the figure: records a trace of the opposing streams, renders
+the character-flow diagram, and asserts the choreography (alternate cells
+idle; each cell meets consecutive pattern/string pairs).
+"""
+
+from repro import Alphabet, parse_pattern
+from repro.core.array import SystolicMatcherArray
+from repro.streams import RecirculatingPattern
+from repro.systolic.tracing import TraceRecorder, render_flow
+
+
+def run_traced(ab, n_cells=4, text="ABCDABCD"):
+    rec = TraceRecorder()
+    arr = SystolicMatcherArray(n_cells, recorder=rec)
+    items = RecirculatingPattern(parse_pattern("ABCD", ab)).items
+    arr.run(items, text)
+    return rec
+
+
+def test_fig_3_2_choreography(ab4, benchmark):
+    rec = benchmark(run_traced, ab4)
+    # alternate cells idle on every beat
+    for row in rec.activity_matrix():
+        for i in range(len(row) - 1):
+            assert not (row[i] and row[i + 1])
+    # each cell advances one pattern char and one text char per firing
+    per_cell = {}
+    for beat, cell, p, s in rec.meetings("p", "s"):
+        per_cell.setdefault(cell, []).append((beat, s.index))
+    for meetings in per_cell.values():
+        for (b1, q1), (b2, q2) in zip(meetings, meetings[1:]):
+            assert (b2 - b1, q2 - q1) == (2, 1)
+
+    print()
+    print(render_flow(
+        TraceRecorderSlice(rec, 8, 16), ["p", "s"],
+        fmt=lambda v: str(v)[:3],
+    ))
+
+
+class TraceRecorderSlice:
+    """A window of a recorder's beats, for compact figure rendering."""
+
+    def __init__(self, rec, start, stop):
+        self.beats = rec.beats[start:stop]

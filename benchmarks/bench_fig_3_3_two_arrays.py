@@ -1,0 +1,33 @@
+"""F3-3: Figure 3-3 -- the comparator/accumulator split.
+
+Regenerates the figure's architecture: the character cell as a comparator
+stacked on an accumulator, with lambda and x bits travelling with the
+pattern through the accumulator row.  Benchmarks the character-level
+array and asserts the split's observable consequences.
+"""
+
+from repro import PatternMatcher, match_oracle
+from repro.core.cells import MatcherCellKernel
+
+from conftest import random_text
+
+
+def test_fig_3_3_cell_split(ab4):
+    kernel = MatcherCellKernel()
+    assert hasattr(kernel, "comparator") and hasattr(kernel, "accumulator")
+    # comparator output feeds the accumulator below on the same beat;
+    # the x bit makes the accumulator ignore a mismatch
+    from repro.core.array import TextToken
+    from repro.streams import PatternStreamItem
+
+    kernel.fire({"p": PatternStreamItem("A", True, False), "s": TextToken("B", 0)})
+    assert kernel.state_snapshot()["d"] is False     # comparator saw mismatch
+    assert kernel.accumulator.t is True              # accumulator ignored it
+
+
+def test_fig_3_3_char_level_array(ab4, benchmark):
+    matcher = PatternMatcher("AXCDXB", ab4)
+    text = random_text(1500, seed=3)
+    results = benchmark(matcher.match, text)
+    assert results == match_oracle(matcher.pattern, list(text))
+    assert matcher.array.utilization() <= 0.5 + 1e-9

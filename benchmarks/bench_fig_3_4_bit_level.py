@@ -1,0 +1,37 @@
+"""F3-4: Figure 3-4 -- the bit-pipelined comparators and checkerboard.
+
+Regenerates the figure: staggered bits, results rippling downward, and
+active comparators forming a checkerboard; asserts equivalence with the
+character-level machine and benchmarks the bit-level simulation.
+"""
+
+from repro import BitLevelMatcher, PatternMatcher, match_oracle
+
+from conftest import random_text
+
+
+def test_fig_3_4_checkerboard(ab4):
+    m = BitLevelMatcher("ABCD", ab4, record_checkerboard=True)
+    m.match(random_text(30, seed=4))
+    assert m.checkerboard_ok()
+    mid = m.checkerboard[len(m.checkerboard) // 2].active
+    print()
+    print("Figure 3-4 checkerboard (one steady-state beat; #=active):")
+    for row in mid:
+        print("   " + "".join("#" if a else "." for a in row))
+
+
+def test_fig_3_4_equals_char_level(ab4):
+    text = random_text(200, seed=5)
+    for pattern in ("A", "AXC", "DCBA"):
+        assert (
+            BitLevelMatcher(pattern, ab4).match(text)
+            == PatternMatcher(pattern, ab4).match(text)
+        )
+
+
+def test_fig_3_4_bit_level_throughput(ab4, benchmark):
+    m = BitLevelMatcher("AXCD", ab4)
+    text = random_text(600, seed=6)
+    results = benchmark(m.match, text)
+    assert results == match_oracle(m.pattern, list(text))

@@ -1,0 +1,42 @@
+"""F3-7: Figure 3-7 -- the five-chip cascade.
+
+Regenerates the figure's claims: k chips of n cells form a single linear
+array matching patterns up to kn characters, results from the leftmost
+chip, at an unchanged data rate.
+"""
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.analysis import Table
+from repro.chip import ChipCascade
+from repro.chip.chip import ChipSpec
+
+from conftest import random_pattern, random_text
+
+
+def cascade_match(n_chips, pattern, text, ab):
+    casc = ChipCascade(ChipSpec(8, 2), n_chips, ab)
+    casc.load_pattern(pattern)
+    return casc.match(text)
+
+
+def test_fig_3_7_five_chip_capacity(ab4, benchmark):
+    pattern = random_pattern(40, seed=7)       # 5 chips x 8 cells, full
+    text = random_text(300, seed=8)
+    results = benchmark(cascade_match, 5, pattern, text, ab4)
+    assert results == match_oracle(parse_pattern(pattern, ab4), list(text))
+
+
+def test_fig_3_7_capacity_scales_rate_does_not(ab4):
+    table = Table(["chips", "capacity", "Mchar/s", "beats for 1000 chars"],
+                  title="Figure 3-7: cascade scaling")
+    spec = ChipSpec(8, 2)
+    rates = []
+    for k in (1, 2, 3, 5):
+        casc = ChipCascade(spec, k, ab4)
+        rate = casc.data_rate_chars_per_s() / 1e6
+        rates.append(rate)
+        table.row([k, casc.capacity, rate, casc.beats_for_text(1000)])
+    print()
+    table.print()
+    assert len(set(rates)) == 1                       # rate unchanged
+    assert ChipCascade(spec, 5, ab4).capacity == 40   # kn cells

@@ -1,0 +1,95 @@
+"""T3.3.1: the Section 3.3.1 design-alternative comparison, quantified.
+
+Regenerates the paper's prose argument as a table:
+
+* sequential fast matchers (KMP, Boyer-Moore) are *inapplicable* with
+  wild cards;
+* naive software scales as N*L, Fischer-Paterson is super-linear;
+* Mukhopadhyay's broadcast machine is functionally correct but its cycle
+  time grows with array size;
+* the rejected unidirectional array matches throughput but pays a serial
+  reload per pattern change;
+* the chosen systolic design: constant per-character cost, zero reload.
+"""
+
+import math
+
+from repro import PatternMatcher, match_oracle, parse_pattern
+from repro.analysis import Table, comparison_counts
+from repro.baselines import (
+    BroadcastMatcher,
+    UnidirectionalArrayMatcher,
+    fischer_paterson_match,
+    naive_match,
+)
+from repro.baselines.broadcast import BroadcastTimingModel
+from repro.baselines.fischer_paterson import fft_work_estimate
+from repro.baselines.naive import OpCounter
+from repro.timing.power import broadcast_cycle_time, local_cycle_time
+
+from conftest import random_pattern, random_text
+
+
+def test_sec_3_3_1_work_comparison(ab4):
+    pattern = random_pattern(8, seed=13)
+    text = random_text(1200, seed=14)
+    counts = comparison_counts(pattern, text, ab4)
+    table = Table(["approach", "unit work"],
+                  title=f"Section 3.3.1 work for |pattern|=8, |text|=1200")
+    for name, value in counts.items():
+        table.row([name, value])
+    print()
+    table.print()
+    assert math.isnan(counts["KMP"])             # inapplicable with wildcards
+    assert counts["naive software"] > len(text)  # super-constant per char
+
+
+def test_sec_3_3_1_broadcast_slowdown(ab4):
+    """Broadcast correctness, but cycle time grows with cells."""
+    pattern = parse_pattern(random_pattern(6, seed=15), ab4)
+    text = random_text(200, seed=16)
+    bm = BroadcastMatcher(pattern)
+    assert bm.match(list(text)) == match_oracle(pattern, list(text))
+    table = Table(["cells", "broadcast cycle (ns)", "systolic cycle (ns)"],
+                  title="Section 3.3.1 broadcast vs local cycle time")
+    for n in (4, 16, 64, 256):
+        table.row([n, broadcast_cycle_time(n), local_cycle_time()])
+    print()
+    table.print()
+    assert broadcast_cycle_time(256) > 4 * local_cycle_time()
+
+
+def test_sec_3_3_1_unidirectional_reload_penalty(ab4):
+    """Query workloads punish the statically-stored pattern."""
+    pattern = parse_pattern(random_pattern(16, seed=17, wild_rate=0), ab4)
+    uni = UnidirectionalArrayMatcher(pattern)
+    queries = [20] * 100  # 100 short queries, new pattern each
+    uni_beats = uni.beats_for_workload(queries)
+    # chosen design: no reload; same queries
+    from repro.core.array import SystolicMatcherArray
+
+    arr = SystolicMatcherArray(16)
+    systolic_beats = sum(arr.beats_needed(q) for q in queries)
+    print(f"\n100 pattern-changing queries: unidirectional {uni_beats} beats "
+          f"(incl. reloads) vs systolic {systolic_beats} beats")
+    assert uni.load_beats * len(queries) > 0
+    # for one long scan the unidirectional design is faster (full rate) --
+    # the trade the paper accepted knowingly
+    assert uni.beats_for_text(10_000) < arr.beats_needed(10_000)
+
+
+def test_sec_3_3_1_fischer_paterson_superlinear(ab4, benchmark):
+    pattern = parse_pattern(random_pattern(6, seed=18), ab4)
+    text = list(random_text(2000, seed=19))
+    results = benchmark(fischer_paterson_match, pattern, text)
+    assert results == match_oracle(pattern, text)
+    w1 = fft_work_estimate(1000, 6, 4)
+    w4 = fft_work_estimate(4000, 6, 4)
+    assert w4 > 4 * w1  # more than linear in N
+
+
+def test_sec_3_3_1_systolic_reference(ab4, benchmark):
+    matcher = PatternMatcher(random_pattern(6, seed=18), ab4)
+    text = random_text(2000, seed=19)
+    results = benchmark(matcher.match, text)
+    assert results == match_oracle(matcher.pattern, list(text))

@@ -1,0 +1,88 @@
+"""T3.3.2 / T3.3.3: data-flow and cell implementation choices.
+
+Regenerates the Section 3.3.2/3.3.3 trade-off discussions as numbers:
+clocked vs self-timed overhead, cell pairing, dynamic vs static shift
+registers (device count, control signals, retention).
+"""
+
+from repro.analysis import Table
+from repro.circuit.shift_register import DynamicShiftRegister, StaticShiftRegister
+from repro.circuit.signals import UNKNOWN
+
+
+def test_sec_3_3_2_clocked_vs_selftimed(benchmark):
+    """Clocked data flow: zero extra devices for the chip's scale (the
+    clock doubles as the data-flow control); self-timed adds a
+    handshake's worth of devices per cell boundary but frees large
+    systems from the global clock.  The self-timed array is *simulated*,
+    not just counted: same cells, request/acknowledge links, each cell at
+    its own pace, verified equal to the clocked machine."""
+    from repro import Alphabet, match_oracle, parse_pattern
+    from repro.core.array import MATCHER_CHANNELS, SystolicMatcherArray, TextToken
+    from repro.core.cells import MatcherCellKernel, ResultToken
+    from repro.streams import RecirculatingPattern
+    from repro.systolic.cell import is_bubble
+    from repro.systolic.selftimed import SelfTimedLinearArray
+
+    ab = Alphabet("ABCD")
+    text = "ABCAACACCAB" * 4
+    ref = SystolicMatcherArray(3)
+    items = RecirculatingPattern(parse_pattern("AXC", ab)).items
+    tokens = [TextToken(c, i) for i, c in enumerate(text)]
+    schedule = ref.input_schedule(items, tokens, ref.beats_needed(len(tokens)))
+
+    def run_async():
+        array = SelfTimedLinearArray(
+            3, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"),
+            cell_delays=[0.8, 1.3, 1.0],
+        )
+        return array, array.run(schedule)
+
+    array, outs = benchmark(run_async)
+    raw = {}
+    for o in outs:
+        if not is_bubble(o["s"]) and isinstance(o["r"], ResultToken):
+            raw[o["s"].index] = o["r"].value
+    got = [bool(raw.get(i, False)) if i >= 2 else False for i in range(len(text))]
+    assert got == match_oracle(parse_pattern("AXC", ab), list(text))
+
+    handshake_devices_per_boundary = 8  # request/ack latches + C-element
+    cells = 8 * 3
+    table = Table(["style", "extra devices", "global wires", "pace set by"],
+                  title="Section 3.3.2 data flow control")
+    table.row(["clocked (chosen)", 0, 2, "worst cell + clock margin"])
+    table.row(["self-timed", handshake_devices_per_boundary * cells, 0,
+               "slowest cell, no margin"])
+    print()
+    table.print()
+    print(f"self-timed run: {array.stats.firings} firings, mean slot "
+          f"interval {array.stats.mean_slot_interval:.2f} (slowest cell 1.3)")
+
+
+def test_sec_3_3_3_dynamic_vs_static(benchmark):
+    def build_both():
+        return DynamicShiftRegister(4), StaticShiftRegister(4)
+
+    dyn, stat = benchmark(build_both)
+    table = Table(
+        ["register", "devices/stage", "control signals", "holds 5 ms?"],
+        title="Section 3.3.3 cell implementation",
+    )
+
+    def survives(sr):
+        sr.shift(True)
+        sr.shift(None)
+        sr.hold(5e6)
+        return all(v is not UNKNOWN for v in sr.read_storage())
+
+    dyn_ok = survives(dyn)
+    stat_ok = survives(stat)
+    table.row(["dynamic (chosen)", dyn.devices_per_stage,
+               dyn.control_signals, "no" if not dyn_ok else "yes"])
+    table.row(["static", stat.devices_per_stage,
+               stat.control_signals, "yes" if stat_ok else "no"])
+    print()
+    table.print()
+    assert not dyn_ok and stat_ok
+    assert stat.devices_per_stage > dyn.devices_per_stage
+    assert stat.control_signals == 3

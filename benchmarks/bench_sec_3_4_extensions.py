@@ -1,0 +1,65 @@
+"""X-count / X-corr / X-conv: the Section 3.4 extension machines.
+
+Regenerates the section's claim that counting, correlation, convolution
+and FIR filtering run on the matcher's data flow with only the cell
+function changed, each verified against its oracle.
+"""
+
+import numpy as np
+
+from repro import count_oracle, parse_pattern
+from repro.core.reference import correlation_oracle
+from repro.extensions import (
+    systolic_convolution,
+    systolic_correlation,
+    systolic_fir,
+    systolic_match_counts,
+)
+from repro.extensions.fir import fir_oracle
+
+from conftest import random_pattern, random_text
+
+
+def test_sec_3_4_counting(ab4, benchmark):
+    pattern = random_pattern(6, seed=20)
+    text = random_text(800, seed=21)
+    counts = benchmark(systolic_match_counts, pattern, text, ab4)
+    assert counts == count_oracle(parse_pattern(pattern, ab4), list(text))
+
+
+def test_sec_3_4_correlation(benchmark):
+    rng = np.random.default_rng(22)
+    pattern = list(rng.normal(size=8))
+    signal = list(rng.normal(size=600))
+    out = benchmark(systolic_correlation, pattern, signal)
+    assert np.allclose(out, correlation_oracle(pattern, signal))
+    # perfect alignment scores ~0: plant the pattern and find it
+    planted = signal[:100] + pattern + signal[100:200]
+    scores = systolic_correlation(pattern, planted)
+    assert int(np.argmin(scores[7:])) + 7 == 107  # window ending there
+
+
+def test_sec_3_4_convolution(benchmark):
+    rng = np.random.default_rng(23)
+    kernel = list(rng.normal(size=6))
+    signal = list(rng.normal(size=500))
+    out = benchmark(systolic_convolution, kernel, signal)
+    assert np.allclose(out, np.convolve(kernel, signal), atol=1e-8)
+
+
+def test_sec_3_4_fir(benchmark):
+    rng = np.random.default_rng(24)
+    taps = list(rng.normal(size=5))
+    signal = list(rng.normal(size=500))
+    out = benchmark(systolic_fir, taps, signal)
+    assert np.allclose(out, fir_oracle(taps, signal), atol=1e-8)
+
+
+def test_sec_3_4_multipass(ab4, benchmark):
+    """Long patterns on a small system via delayed re-runs."""
+    from repro import match_oracle, multipass_match
+
+    pattern = parse_pattern(random_pattern(24, seed=25), ab4)
+    text = list(random_text(300, seed=26))
+    out = benchmark(multipass_match, pattern, text, 8)
+    assert out == match_oracle(pattern, text)

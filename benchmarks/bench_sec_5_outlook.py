@@ -1,0 +1,62 @@
+"""Section 5 outlook, quantified: wafer-scale integration and the
+standard-cell library.
+
+Regenerates the closing argument: with regular, bypassable cells a
+defective wafer still yields one big working array (monolithic yield
+collapses geometrically, harvested capacity stays linear), and a designer
+can pull a verified inner-product step cell from a library instead of
+constructing it.
+"""
+
+from repro import match_oracle, parse_pattern
+from repro.analysis import Table
+from repro.core.array import SystolicMatcherArray
+from repro.library import standard_library
+from repro.streams import RecirculatingPattern
+from repro.wafer import Wafer, harvest_linear_array, monolithic_yield
+from repro.wafer.reconfigure import matcher_from_harvest
+from repro.wafer.yield_model import cells_per_wafer
+
+from conftest import AB4, random_pattern, random_text
+
+
+def test_sec_5_wafer_yield_curves():
+    d = 0.05
+    table = Table(["cells", "monolithic yield", "wafer harvest (cells)"],
+                  title="Section 5: yield vs scale at 5% cell defect rate")
+    for n in (8, 24, 96, 384, 1536):
+        side = int(n ** 0.5) + 1
+        table.row([n, monolithic_yield(n, d), cells_per_wafer(1, n, d)])
+    print()
+    table.print()
+    assert monolithic_yield(1536, d) < 1e-30
+    assert cells_per_wafer(1, 1536, d) > 1400
+
+
+def harvest_and_match(seed):
+    wafer = Wafer(8, 16, defect_rate=0.08, seed=seed)
+    harvest = harvest_linear_array(wafer)
+    pattern = parse_pattern(random_pattern(12, seed=seed), AB4)
+    array = matcher_from_harvest(harvest, n_cells=max(12, harvest.n_cells // 2))
+    text = random_text(200, seed=seed + 1)
+    raw = array.run(RecirculatingPattern(pattern).items, text)
+    got = [bool(raw.get(i, False)) if i >= 11 else False for i in range(len(text))]
+    return wafer, harvest, got, match_oracle(pattern, list(text))
+
+
+def test_sec_5_matcher_survives_defects(benchmark):
+    wafer, harvest, got, want = benchmark(harvest_and_match, 5)
+    assert got == want
+    print(f"\nwafer {wafer.rows}x{wafer.cols}: {wafer.n_sites - wafer.n_functional} "
+          f"defects bypassed, {harvest.n_cells}-cell array harvested "
+          f"(worst bypass run {harvest.worst_bypass_run}); matcher == oracle")
+
+
+def test_sec_5_cell_library():
+    lib = standard_library()
+    print("\nSection 5 standard cell library:")
+    print(lib.catalogue())
+    entry = lib.get("inner-product-step")  # the paper's example selection
+    array = SystolicMatcherArray(4, kernel_factory=entry.make_kernel)
+    assert array.n_cells == 4
+    assert len(lib) >= 5

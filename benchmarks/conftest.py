@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench file regenerates one figure/table/claim of the paper (see the
+experiment index in DESIGN.md).  Benches both *measure* (via
+pytest-benchmark) and *assert the paper's qualitative shape* -- who wins,
+by roughly what factor, where crossovers fall -- since absolute numbers
+depend on the simulation substrate, not the 1979 silicon.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Alphabet
+
+
+@pytest.fixture
+def ab4():
+    return Alphabet("ABCD")
+
+
+def random_text(n, symbols="ABCD", seed=0):
+    rng = random.Random(seed)
+    return "".join(rng.choice(symbols) for _ in range(n))
+
+
+def random_pattern(n, symbols="ABCD", wild_rate=0.25, seed=1):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        if rng.random() < wild_rate:
+            out.append("X")
+        else:
+            out.append(rng.choice(symbols))
+    return "".join(out)
+
+
+#: Module-level alphabet for benches that build patterns outside fixtures.
+AB4 = Alphabet("ABCD")

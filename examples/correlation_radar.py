@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Pulse-echo detection with the Section 3.4 correlation machine.
+
+"A problem of more practical interest is the computation of
+correlations."  A known pulse shape is buried in a noisy received
+signal; the correlation machine -- the pattern matcher with its
+comparator swapped for a difference cell and its accumulator for an
+adder -- computes the squared distance of every window to the pulse,
+and the echoes appear as sharp minima.
+"""
+
+import numpy as np
+
+from repro.extensions import CorrelationMachine, systolic_fir
+
+PULSE = [0.0, 0.9, 1.0, 0.4, -0.5, -1.0, -0.3, 0.2]
+ECHO_POSITIONS = [40, 105, 180]
+NOISE = 0.15
+N_SAMPLES = 256
+
+
+def build_signal(rng):
+    signal = rng.normal(0.0, NOISE, N_SAMPLES)
+    for pos in ECHO_POSITIONS:
+        signal[pos : pos + len(PULSE)] += PULSE
+    return signal
+
+
+def main():
+    rng = np.random.default_rng(1979)
+    signal = build_signal(rng)
+
+    machine = CorrelationMachine(PULSE)
+    scores = np.array(machine.correlate(list(signal)))
+    k = len(PULSE) - 1
+
+    # Detect echoes: local minima of the squared distance, thresholded.
+    threshold = np.median(scores[k:]) * 0.35
+    detected = [
+        int(i) - k
+        for i in range(k, N_SAMPLES)
+        if scores[i] < threshold
+        and scores[i] == min(scores[max(k, i - 4) : i + 5])
+    ]
+
+    print(f"pulse of {len(PULSE)} samples; echoes planted at {ECHO_POSITIONS}")
+    print(f"correlation machine detected starts at {detected}")
+    assert detected == ECHO_POSITIONS, "detection failed"
+
+    # Bonus: the same data flow runs an FIR smoother over the scores.
+    smooth = systolic_fir([0.25, 0.5, 0.25], list(scores[k:]))
+    print(f"FIR-smoothed score minimum: {min(smooth):.3f} "
+          f"(raw minimum {scores[k:].min():.3f})")
+
+    # A crude terminal plot of the match score (lower = better match).
+    print("\nsquared-distance profile (each column = 4 samples, '#' = echo):")
+    tail = scores[k:]
+    usable = tail[: len(tail) - len(tail) % 4]
+    buckets = usable.reshape(-1, 4).min(axis=1)
+    line = "".join("#" if b < threshold else "." for b in buckets)
+    print(line)
+
+
+if __name__ == "__main__":
+    main()

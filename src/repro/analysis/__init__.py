@@ -1,0 +1,7 @@
+"""Cross-level verification helpers, metrics, and report formatting."""
+
+from .metrics import comparison_counts, utilization_profile
+from .report import Table
+from .verify import verify_matcher_stack
+
+__all__ = ["Table", "comparison_counts", "utilization_profile", "verify_matcher_stack"]

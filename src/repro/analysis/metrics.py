@@ -1,0 +1,61 @@
+"""Work and utilization metrics for the comparison benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..alphabet import Alphabet, parse_pattern
+from ..baselines.boyer_moore import BoyerMooreMatcher
+from ..baselines.kmp import KMPMatcher
+from ..baselines.naive import OpCounter, naive_match
+from ..baselines.shift_or import ShiftOrMatcher
+from ..core.matcher import PatternMatcher
+
+
+def comparison_counts(pattern: str, text: str, alphabet: Alphabet) -> Dict[str, float]:
+    """Character comparisons (or per-char unit work) for each approach.
+
+    The systolic entry counts *cell firings* -- each is one character
+    comparison, all in parallel hardware; the sequential entries count
+    host instructions' worth of comparisons.  KMP/Boyer-Moore report
+    ``nan`` for wildcard patterns (inapplicable, Section 3.3.1).
+    """
+    pcs = parse_pattern(pattern, alphabet)
+    has_wild = any(p.is_wild for p in pcs)
+    out: Dict[str, float] = {}
+
+    counter = OpCounter()
+    naive_match(pcs, list(text), counter)
+    out["naive software"] = counter.comparisons
+
+    if has_wild:
+        out["KMP"] = float("nan")
+        out["Boyer-Moore"] = float("nan")
+    else:
+        counter = OpCounter()
+        KMPMatcher(pcs).match(list(text), counter)
+        out["KMP"] = counter.comparisons
+        counter = OpCounter()
+        BoyerMooreMatcher(pcs).match(list(text), counter)
+        out["Boyer-Moore"] = counter.comparisons
+
+    counter = OpCounter()
+    ShiftOrMatcher(pcs).match(list(text), counter)
+    out["shift-or (word ops)"] = counter.comparisons
+
+    matcher = PatternMatcher(pattern, alphabet)
+    matcher.match(text)
+    out["systolic (parallel cell firings)"] = matcher.array.array.fire_count
+    return out
+
+
+def utilization_profile(
+    pattern: str, texts: Sequence[str], alphabet: Alphabet
+) -> List[float]:
+    """Cell utilization across runs (approaches 1/2 as texts lengthen)."""
+    out: List[float] = []
+    for text in texts:
+        m = PatternMatcher(pattern, alphabet)
+        m.match(text)
+        out.append(m.array.utilization())
+    return out

@@ -1,0 +1,50 @@
+"""Working implementations of every alternative the paper discusses.
+
+Section 3.3.1 surveys the design space the systolic matcher was chosen
+from; this package implements each alternative so the comparison benches
+can reproduce the paper's arguments quantitatively:
+
+* :mod:`repro.baselines.naive` -- direct O(N*L) software matching.
+* :mod:`repro.baselines.kmp` -- Knuth-Morris-Pratt [Knuth et al. 77]
+  (exact patterns only; "breaks down" with wild cards because matching is
+  no longer transitive).
+* :mod:`repro.baselines.boyer_moore` -- Boyer-Moore [Boyer and Moore 77]
+  (exact patterns only; also requires random access to the text, which a
+  streaming chip cannot have).
+* :mod:`repro.baselines.shift_or` -- bit-parallel shift-or matching, the
+  strongest word-RAM streaming baseline (supports wild cards).
+* :mod:`repro.baselines.fischer_paterson` -- wildcard matching via
+  convolution / integer multiplication [Fischer and Paterson 74], "the
+  fastest algorithm known for string matching with wild card characters"
+  on a sequential machine, "requires more than linear time".
+* :mod:`repro.baselines.broadcast` -- Mukhopadhyay's broadcast cellular
+  matcher [Mukhopadhyay 79], with the capacitive-load cost its broadcast
+  bus implies.
+* :mod:`repro.baselines.unidirectional` -- the one-directional array with
+  statically stored pattern and half-speed results that the paper rejects
+  for its loading overhead.
+
+All matchers share the oracle's output convention: one boolean per text
+position, True when the window ending there matches.
+"""
+
+from .boyer_moore import BoyerMooreMatcher, boyer_moore_match
+from .broadcast import BroadcastMatcher
+from .fischer_paterson import fischer_paterson_match
+from .kmp import KMPMatcher, kmp_match
+from .naive import naive_match
+from .shift_or import ShiftOrMatcher, shift_or_match
+from .unidirectional import UnidirectionalArrayMatcher
+
+__all__ = [
+    "BoyerMooreMatcher",
+    "BroadcastMatcher",
+    "KMPMatcher",
+    "ShiftOrMatcher",
+    "UnidirectionalArrayMatcher",
+    "boyer_moore_match",
+    "fischer_paterson_match",
+    "kmp_match",
+    "naive_match",
+    "shift_or_match",
+]

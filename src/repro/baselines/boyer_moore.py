@@ -1,0 +1,105 @@
+"""Boyer-Moore matching [Boyer and Moore 77].
+
+The other fast sequential algorithm Section 3.3.1 rules out.  Besides
+breaking down on wild cards, Boyer-Moore *skips* text characters -- it
+requires random access to the text, so it cannot run on a streaming
+interface at all; the benches report its skip behaviour to make that
+architectural mismatch visible (a chip fed one character per beat gains
+nothing from skipping).
+
+This implementation uses the bad-character rule plus the strong good-suffix
+rule, exact patterns only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+from .naive import OpCounter
+
+
+class BoyerMooreMatcher:
+    """Exact-pattern Boyer-Moore with the oracle output convention."""
+
+    def __init__(self, pattern: Sequence[PatternChar]):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if any(pc.is_wild for pc in pattern):
+            raise PatternError(
+                "Boyer-Moore is inapplicable to wildcard patterns: skip "
+                "information about the pattern matching itself is "
+                "irrelevant with wild cards (Section 3.1)"
+            )
+        self.pattern: List[str] = [pc.char for pc in pattern]
+        self.bad_char = self._build_bad_char(self.pattern)
+        self.good_suffix = self._build_good_suffix(self.pattern)
+
+    @staticmethod
+    def _build_bad_char(p: List[str]) -> Dict[str, int]:
+        """Rightmost occurrence index of each pattern character."""
+        return {c: i for i, c in enumerate(p)}
+
+    @staticmethod
+    def _build_good_suffix(p: List[str]) -> List[int]:
+        """Shift table for the strong good-suffix rule."""
+        m = len(p)
+        shift = [0] * (m + 1)
+        border = [0] * (m + 1)
+        i, j = m, m + 1
+        border[i] = j
+        while i > 0:
+            while j <= m and p[i - 1] != p[j - 1]:
+                if shift[j] == 0:
+                    shift[j] = j - i
+                j = border[j]
+            i -= 1
+            j -= 1
+            border[i] = j
+        j = border[0]
+        for i in range(m + 1):
+            if shift[i] == 0:
+                shift[i] = j
+            if i == j:
+                j = border[j]
+        return shift
+
+    def match(self, text: Sequence[str], counter: OpCounter = None) -> List[bool]:
+        """One boolean per text position; also counts alignment skips."""
+        p = self.pattern
+        m, n = len(p), len(text)
+        out = [False] * n
+        if m > n:
+            return out
+        s = 0
+        while s <= n - m:
+            j = m - 1
+            while j >= 0:
+                if counter is not None:
+                    counter.comparisons += 1
+                if p[j] != text[s + j]:
+                    break
+                j -= 1
+            if j < 0:
+                out[s + m - 1] = True
+                s += self.good_suffix[0]
+            else:
+                bc = self.bad_char.get(text[s + j], -1)
+                s += max(self.good_suffix[j + 1], j - bc, 1)
+        return out
+
+    def characters_examined(self, text: Sequence[str]) -> int:
+        """Comparisons performed on *text* (sublinear for long patterns)."""
+        counter = OpCounter()
+        self.match(text, counter)
+        return counter.comparisons
+
+
+def boyer_moore_match(
+    pattern: Sequence[PatternChar],
+    text: Sequence[str],
+    counter: OpCounter = None,
+) -> List[bool]:
+    """Functional wrapper; raises PatternError for wildcard patterns."""
+    return BoyerMooreMatcher(pattern).match(text, counter)

@@ -1,0 +1,113 @@
+"""Mukhopadhyay's broadcast cellular matcher [Mukhopadhyay 79].
+
+Section 3.3.1: "Mukhopadhyay has proposed several machines in which each
+cell stores a character of the pattern, and the text string is broadcast
+character by character to all cells.  The broadcast communication is the
+major disadvantage of this algorithm.  Each cell requires a connection to
+the broadcast channel, which either increases the power requirements of
+the system as a whole or decreases its speed."
+
+The machine: cell ``j`` statically stores pattern character ``p_j``; on
+each cycle the next text character is broadcast to every cell, each cell
+compares it with its stored character, and the partial-match bit chains
+from cell to cell (cell j's new bit = cell j-1's previous bit AND its own
+comparison -- a local connection, so the *only* global wire is the
+broadcast bus).  One text character per cycle; the last cell's bit is the
+result for the window ending at that character.
+
+The broadcast cost is modelled explicitly: the bus driver sees one gate
+load per cell, so the cycle time grows with array size --
+``cycle_time(n) = t_logic + n * t_load`` (unbuffered) or
+``t_logic + t_load * ceil(log2 n) * fanout_factor`` with a buffer tree,
+which trades the delay for extra power and area.  The systolic design's
+cycle time is constant in ``n``; that contrast is the content of the
+Section 3.3.1 comparison bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+
+
+@dataclass(frozen=True)
+class BroadcastTimingModel:
+    """Delay/power model for the broadcast bus.
+
+    ``t_logic``: fixed per-cycle logic delay (same units as the systolic
+    beat; default equals one systolic beat so comparisons are apples to
+    apples).  ``t_load_per_cell``: incremental bus delay per attached
+    cell.  ``buffered``: drive the bus through a fanout tree instead of a
+    single driver.
+    """
+
+    t_logic: float = 1.0
+    t_load_per_cell: float = 0.05
+    buffered: bool = False
+    buffer_fanout: int = 4
+
+    def cycle_time(self, n_cells: int) -> float:
+        """Cycle time of an ``n_cells`` machine under this model."""
+        if n_cells <= 0:
+            raise PatternError("n_cells must be positive")
+        if not self.buffered:
+            return self.t_logic + self.t_load_per_cell * n_cells
+        levels = max(1, math.ceil(math.log(n_cells, self.buffer_fanout)))
+        return self.t_logic + self.t_load_per_cell * self.buffer_fanout * levels
+
+    def drive_power(self, n_cells: int) -> float:
+        """Relative bus-driver power: proportional to total switched load."""
+        return self.t_load_per_cell * n_cells
+
+
+class BroadcastMatcher:
+    """Cycle-accurate simulation of the broadcast machine.
+
+    Matches the oracle bit-for-bit (the algorithm is correct -- the
+    paper's objection is architectural, not functional).
+    """
+
+    def __init__(
+        self,
+        pattern: Sequence[PatternChar],
+        timing: BroadcastTimingModel = None,
+    ):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self.pattern: List[PatternChar] = list(pattern)
+        self.timing = timing or BroadcastTimingModel()
+        self.cycles_run = 0
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.pattern)
+
+    def match(self, text: Sequence[str]) -> List[bool]:
+        """One boolean per text position (oracle convention)."""
+        L = len(self.pattern)
+        # bits[j]: does the pattern prefix of length j+1 match the text
+        # suffix ending at the previous character?
+        bits = [False] * L
+        out: List[bool] = []
+        for c in text:
+            new_bits = [False] * L
+            for j, pc in enumerate(self.pattern):
+                local = pc.matches(c)  # broadcast comparison at cell j
+                chain = True if j == 0 else bits[j - 1]
+                new_bits[j] = chain and local
+            bits = new_bits
+            out.append(bits[L - 1])
+            self.cycles_run += 1
+        return out
+
+    def elapsed_time(self) -> float:
+        """Total time under the broadcast timing model."""
+        return self.cycles_run * self.timing.cycle_time(self.n_cells)
+
+    def load_pattern_cycles(self) -> int:
+        """Cycles to (re)load the statically stored pattern (serial shift)."""
+        return self.n_cells

@@ -1,0 +1,77 @@
+"""Knuth-Morris-Pratt matching [Knuth et al. 77].
+
+One of the "fast sequential algorithms" Section 3.3.1 rules out for
+hardware: it relies on information about partial matches of the pattern
+with itself, which (a) implies dynamically changing communication in any
+hardware realisation and (b) "breaks down" when wild cards are present,
+because the matches relation is no longer transitive (the paper's example:
+AC and XB both match AX but not each other).
+
+:class:`KMPMatcher` therefore refuses wildcard patterns --
+reproducing the *inapplicability* result, not merely a slowdown -- and
+provides the classic linear-time scan for exact patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+from .naive import OpCounter
+
+
+class KMPMatcher:
+    """Exact-pattern KMP with the oracle output convention."""
+
+    def __init__(self, pattern: Sequence[PatternChar]):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        if any(pc.is_wild for pc in pattern):
+            raise PatternError(
+                "KMP is inapplicable to wildcard patterns: the matches "
+                "relation is not transitive (Section 3.3.1)"
+            )
+        self.pattern: List[str] = [pc.char for pc in pattern]
+        self.failure = self._build_failure(self.pattern)
+
+    @staticmethod
+    def _build_failure(p: List[str]) -> List[int]:
+        """The classic failure function: longest proper border lengths."""
+        fail = [0] * len(p)
+        j = 0
+        for i in range(1, len(p)):
+            while j > 0 and p[i] != p[j]:
+                j = fail[j - 1]
+            if p[i] == p[j]:
+                j += 1
+            fail[i] = j
+        return fail
+
+    def match(self, text: Sequence[str], counter: OpCounter = None) -> List[bool]:
+        """One boolean per text position (True at window-ending matches)."""
+        p, fail = self.pattern, self.failure
+        out = [False] * len(text)
+        j = 0
+        for i, c in enumerate(text):
+            while j > 0 and c != p[j]:
+                if counter is not None:
+                    counter.comparisons += 1
+                j = fail[j - 1]
+            if counter is not None:
+                counter.comparisons += 1
+            if c == p[j]:
+                j += 1
+            if j == len(p):
+                out[i] = True
+                j = fail[j - 1]
+        return out
+
+
+def kmp_match(
+    pattern: Sequence[PatternChar],
+    text: Sequence[str],
+    counter: OpCounter = None,
+) -> List[bool]:
+    """Functional wrapper; raises PatternError for wildcard patterns."""
+    return KMPMatcher(pattern).match(text, counter)

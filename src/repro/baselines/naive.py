@@ -1,0 +1,52 @@
+"""Naive software string matching (the O(N*L) reference point).
+
+This is the algorithm a host computer without special hardware runs for
+wildcard matching: compare every window position by position.  It is the
+only *sequential* baseline that handles wild cards without preprocessing,
+and its per-character cost grows linearly with the pattern length -- the
+scaling the systolic chip removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+
+
+@dataclass
+class OpCounter:
+    """Counts elementary character comparisons, for the cost benches."""
+
+    comparisons: int = 0
+
+
+def naive_match(
+    pattern: Sequence[PatternChar],
+    text: Sequence[str],
+    counter: OpCounter = None,
+) -> List[bool]:
+    """Oracle-convention result stream via window-by-window comparison.
+
+    With early exit on the first mismatch, so the comparison count
+    reflects real software behaviour (best case ~N, worst case N*L).
+    """
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    k = len(pattern) - 1
+    out: List[bool] = []
+    for i in range(len(text)):
+        if i < k:
+            out.append(False)
+            continue
+        matched = True
+        for j in range(len(pattern)):
+            if counter is not None:
+                counter.comparisons += 1
+            if not pattern[j].matches(text[i - k + j]):
+                matched = False
+                break
+        out.append(matched)
+    return out

@@ -1,0 +1,81 @@
+"""Bit-parallel shift-or matching (Baeza-Yates / Gonnet style).
+
+Not cited by the paper (it post-dates it), but included as the strongest
+modern *software* streaming baseline: it handles wild cards naturally and
+processes one text character per step using machine-word bit parallelism.
+Its limit is the word width -- patterns longer than the word need
+multi-word state, degrading per-character cost, whereas the systolic array
+simply adds cells.  The benches use it to show the paper's argument
+survives against stronger software than existed in 1979.
+
+Formulation: state ``D`` is a bit vector with bit ``j`` **clear** iff the
+pattern prefix of length ``j+1`` matches the text suffix ending at the
+current character; per character ``D = (D << 1) | B[c]`` where ``B[c]``
+has bit ``j`` set iff pattern position ``j`` does *not* match ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+from .naive import OpCounter
+
+
+class ShiftOrMatcher:
+    """Shift-or automaton over arbitrary (hashable) characters."""
+
+    def __init__(self, pattern: Sequence[PatternChar]):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self.length = len(pattern)
+        self._all_ones = (1 << self.length) - 1
+        match_masks: Dict[str, int] = {}
+        wild_mask = 0
+        for j, pc in enumerate(pattern):
+            bit = 1 << j
+            if pc.is_wild:
+                wild_mask |= bit
+            else:
+                match_masks[pc.char] = match_masks.get(pc.char, 0) | bit
+        # B[c] = positions that MISmatch c; characters absent from the
+        # table mismatch everywhere except wild positions.
+        self._mismatch_default = self._all_ones & ~wild_mask
+        self._mismatch: Dict[str, int] = {
+            c: self._all_ones & ~(m | wild_mask) for c, m in match_masks.items()
+        }
+        self._match_bit = 1 << (self.length - 1)
+
+    def match(self, text: Sequence[str], counter: OpCounter = None) -> List[bool]:
+        """One boolean per text position (oracle convention)."""
+        d = self._all_ones
+        all_ones = self._all_ones
+        default = self._mismatch_default
+        table = self._mismatch
+        match_bit = self._match_bit
+        out: List[bool] = []
+        for c in text:
+            if counter is not None:
+                counter.comparisons += 1  # one table lookup + word op per char
+            d = ((d << 1) & all_ones) | table.get(c, default)
+            out.append(not d & match_bit)
+        return out
+
+    def words_per_character(self, word_bits: int = 32) -> int:
+        """Machine words touched per text character on a *word_bits* host.
+
+        The 1979-era host comparison: a pattern longer than the word
+        multiplies the per-character software cost, while the chip's
+        per-character cost is constant.
+        """
+        return -(-self.length // word_bits)
+
+
+def shift_or_match(
+    pattern: Sequence[PatternChar],
+    text: Sequence[str],
+    counter: OpCounter = None,
+) -> List[bool]:
+    """Functional wrapper around :class:`ShiftOrMatcher`."""
+    return ShiftOrMatcher(pattern).match(text, counter)

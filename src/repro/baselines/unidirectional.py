@@ -1,0 +1,108 @@
+"""The rejected one-directional array with statically stored pattern.
+
+Section 3.3.1: "An algorithm that is similar to ours uses a linear array
+of cells with data flowing in only one direction.  The pattern is
+permanently stored in the array of cells, and the text string moves past
+it.  Partial results move at half the speed of the text so that they
+accumulate results from an entire substring match.  This algorithm was
+rejected because of the static storage of the pattern.  Loading the cells
+in preparation for a pattern match would require extra time and
+circuitry."
+
+Mechanics simulated here: cell ``c`` stores ``p_c``; text characters enter
+cell 0 one per beat and move right one cell per beat; a result token is
+launched at cell 0 on every beat and advances one cell every *two* beats.
+The token launched on beat ``b`` reaches cell ``c`` exactly when text
+character ``s_{b+c}`` does, so it accumulates the window starting at
+``b`` -- each token meets every cell, and two interleaved token streams
+(even/odd launch beats) keep every cell busy on every beat.
+
+Consequences the benches expose:
+
+* steady-state throughput is one text character per beat -- *twice* the
+  bidirectional design's rate -- and cell utilization is ~100%;
+* but every pattern change stalls the pipe for a serial reload
+  (``n_cells`` beats) and requires static (refreshed) storage in every
+  cell, which the paper's dynamic-register design avoids entirely.
+  For query-style workloads with frequent pattern changes the chosen
+  design wins; for one long scan the rejected design would have been
+  faster.  The paper's stated reason is the loading time and circuitry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+
+
+@dataclass
+class _ResultToken:
+    launch_beat: int
+    window_start: int
+    value: bool = True
+
+
+class UnidirectionalArrayMatcher:
+    """Beat-accurate simulation of the rejected one-directional design."""
+
+    def __init__(self, pattern: Sequence[PatternChar]):
+        if not pattern:
+            raise PatternError("pattern must be non-empty")
+        self.pattern: List[PatternChar] = list(pattern)
+        self.load_beats = len(pattern)  # serial shift-in of the pattern
+        self.beats_run = 0
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.pattern)
+
+    def match(self, text: Sequence[str]) -> List[bool]:
+        """One boolean per text position (oracle convention)."""
+        L = self.n_cells
+        n = len(text)
+        k = L - 1
+        out = [False] * n
+        # text[i] enters cell 0 at beat i; at beat t it occupies cell t - i.
+        # The token launched at beat b occupies cell (t - b) // 2 and
+        # accumulates on arrival beats (t - b even).
+        total_beats = n + 2 * L + 2
+        tokens: List[_ResultToken] = []
+        for t in range(total_beats):
+            if t < n:
+                tokens.append(_ResultToken(launch_beat=t, window_start=t))
+            done: List[_ResultToken] = []
+            for tok in tokens:
+                age = t - tok.launch_beat
+                if age % 2 != 0:
+                    continue
+                c = age // 2
+                if c >= L:
+                    done.append(tok)
+                    continue
+                i = tok.launch_beat + c  # the text char arriving at cell c now
+                if i < n:
+                    tok.value = tok.value and self.pattern[c].matches(text[i])
+                else:
+                    tok.value = False  # window runs off the end of the text
+            for tok in done:
+                tokens.remove(tok)
+                end = tok.window_start + k
+                if tok.window_start >= 0 and end < n:
+                    out[end] = tok.value
+            self.beats_run += 1
+        return out
+
+    def beats_for_text(self, n_text: int) -> int:
+        """Steady-state beats to process *n_text* characters (rate = 1)."""
+        return n_text + 2 * self.n_cells + 2
+
+    def beats_for_workload(self, queries: Sequence[int]) -> int:
+        """Total beats for a workload of texts, one reload per query.
+
+        *queries* lists the text length of each query; each query pays the
+        serial pattern reload before streaming.
+        """
+        return sum(self.load_beats + self.beats_for_text(n) for n in queries)

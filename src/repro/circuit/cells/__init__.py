@@ -1,0 +1,16 @@
+"""Switch-level implementations of the chip's two cell types.
+
+"Since each cell inverts its inputs before sending them to its neighbors,
+two versions of each cell must be constructed.  One version operates on
+positive inputs to produce inverted outputs, while the other computes
+positive outputs from inverted inputs." (Section 3.2.2)
+
+Each builder adds one cell instance to a :class:`~repro.circuit.netlist.Circuit`
+and returns the port-name mapping used for wiring by
+:mod:`repro.circuit.chipnet`.
+"""
+
+from .accumulator import build_accumulator
+from .comparator import build_comparator
+
+__all__ = ["build_accumulator", "build_comparator"]

@@ -1,0 +1,120 @@
+"""The accumulator cell at switch level.
+
+Realises the Section 3.2.1 accumulator algorithm
+
+    t' = t AND (x_in OR d_in)
+    if lambda_in:  r_out <- t' ; t <- TRUE
+    else:          r_out <- r_in ; t <- t'
+
+with two-phase discipline for the temporary result ``t`` (the paper's
+"Cell Timing Signals" note that ``r_out <- t; t <- TRUE`` must sequence
+correctly): ``t`` lives in a master/slave pair -- the master is written
+through passes gated by the cell's own clock phase, the slave is
+refreshed from the master on the *opposite* phase and feeds the logic.
+That breaks the combinational loop t -> t' -> t within a phase, which is
+precisely what the two-phase clock is for.
+
+The end-of-pattern selection is a pass-transistor multiplexer steered by
+the stored ``lambda`` bit and its complement, and the whole cell exists in
+positive and negative twins like the comparator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import CircuitError
+from ..gates import inverter, nand2, nor2, pass_transistor
+from ..netlist import VDD, Circuit
+
+
+def build_accumulator(
+    c: Circuit, prefix: str, clk: str, clk_other: str, positive: bool = True
+) -> Dict[str, str]:
+    """Add one accumulator cell; returns its port map.
+
+    Ports: ``lam_in``, ``x_in``, ``d_in``, ``r_in`` (data inputs;
+    complemented signals for the negative twin), ``lam_out``, ``x_out``,
+    ``r_out`` (complemented by the cell), and white-box nodes ``t_master``
+    / ``t_slave``.
+
+    ``d_in`` comes from the comparator above; because vertical neighbours
+    alternate polarity, a positive accumulator receives positive ``d``
+    and a negative one receives ``d_bar``.
+    """
+    if not prefix or not prefix.endswith("."):
+        raise CircuitError("prefix must be non-empty and end with '.'")
+    n = lambda s: prefix + s
+
+    # Input latches (clocked pass transistors).
+    for port in ("lam", "x", "d", "r"):
+        pass_transistor(c, clk, n(f"{port}_in"), n(f"{port}_store"),
+                        label=n(f"pass_{port}"))
+
+    # lambda and x continue rightward through shift-register inverters.
+    inverter(c, n("lam_store"), n("lam_out"), label=n("inv_lam"))
+    inverter(c, n("x_store"), n("x_out"), label=n("inv_x"))
+
+    if positive:
+        # w = x OR d:  w_bar = NOR(x, d), w = NOT w_bar.
+        nor2(c, n("x_store"), n("d_store"), n("w_bar"), label=n("nor_w"))
+        inverter(c, n("w_bar"), n("w"), label=n("inv_w"))
+        lam, lam_bar = n("lam_store"), n("lam_out")
+        r_stored = n("r_store")          # positive r_in, stored
+    else:
+        # Inputs are complements: w = x OR d = NAND(x_bar, d_bar).
+        nand2(c, n("x_store"), n("d_store"), n("w"), label=n("nand_w"))
+        lam_bar, lam = n("lam_store"), n("lam_out")
+        r_stored = n("r_store")          # r_in_bar, stored
+
+    # t' = t_slave AND w  (both polarities available).
+    nand2(c, n("t_slave"), n("w"), n("t_new_bar"), label=n("nand_t"))
+    inverter(c, n("t_new_bar"), n("t_new"), label=n("inv_t"))
+
+    # Result multiplexer, then the output inverter (shift-register stage).
+    #   positive twin: select t' on lambda, else stored r;   out = NOT(sel)
+    #   negative twin: select t'_bar on lambda (so the final inversion
+    #                  yields positive t'), else stored r_bar.
+    # The selected value is latched through a clocked pass before the
+    # output inverter: without it r_out would track t' when the slave
+    # refreshes on the opposite phase, corrupting the neighbour's input.
+    # (This is the paper's "Cell Timing Signals" point -- the r_out <- t /
+    # t <- TRUE sequence needs the clock discipline, discovered here the
+    # hard way when the unlatched version failed against the behavioural
+    # model.)
+    sel = n("r_sel")
+    if positive:
+        pass_transistor(c, lam, n("t_new"), sel, label=n("mux_t"))
+    else:
+        pass_transistor(c, lam, n("t_new_bar"), sel, label=n("mux_t"))
+    pass_transistor(c, lam_bar, r_stored, sel, label=n("mux_r"))
+    pass_transistor(c, clk, sel, n("r_hold"), label=n("r_hold_pass"))
+    inverter(c, n("r_hold"), n("r_out"), label=n("inv_r"))
+
+    # t master write (gated by this cell's phase so the slave transfer on
+    # the other phase sees a quiet master):
+    #   on lambda: t <- TRUE;  otherwise t <- t'.
+    pass_transistor(c, clk, n("t_wr"), n("t_master"), label=n("t_wr_pass"))
+    pass_transistor(c, lam, VDD, n("t_wr"), label=n("t_set"))
+    pass_transistor(c, lam_bar, n("t_new"), n("t_wr"), label=n("t_keep"))
+
+    # Slave refresh on the opposite phase, buffered by an inverter pair so
+    # charge is never shared between two storage nodes directly.
+    inverter(c, n("t_master"), n("t_master_bar"), label=n("inv_tm"))
+    pass_transistor(c, clk_other, n("t_master_bar"), n("t_slave_bar"),
+                    label=n("t_xfer"))
+    inverter(c, n("t_slave_bar"), n("t_slave"), label=n("inv_ts"))
+
+    return {
+        "lam_in": n("lam_in"), "x_in": n("x_in"),
+        "d_in": n("d_in"), "r_in": n("r_in"),
+        "lam_out": n("lam_out"), "x_out": n("x_out"), "r_out": n("r_out"),
+        "t_master": n("t_master"), "t_slave": n("t_slave"),
+        "r_store": n("r_store"),
+    }
+
+
+#: Device count of one accumulator twin (positive): 4 clocked passes,
+#: 5 inverters, NOR+inverter or NAND for w, NAND for t', 4 mux/write
+#: passes, 1 transfer pass.
+ACCUMULATOR_DEVICES = 4 + 5 * 2 + 3 + 2 + 3 + 4 + 1

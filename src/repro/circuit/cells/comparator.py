@@ -1,0 +1,84 @@
+"""The one-bit comparator cell at switch level (Figure 3-6).
+
+Positive version, exactly the paper's circuit: "When the clock input goes
+from ground to Vdd, all three pass transistors turn on.  The pattern and
+string inputs are then stored on the inverters, and the d input is stored
+on one input to the NAND gate.  The exclusive NOR gate outputs TRUE if
+the two inputs are equal ... The output of this equality test goes to the
+other input of the NAND gate, which computes d_out."
+
+Cell algorithm realised (positive twin, inverted outputs):
+
+    p_out_bar <- NOT p_in
+    s_out_bar <- NOT s_in
+    d_out_bar <- d_in NAND (p_in == s_in)
+
+and the negative twin (inverted inputs, positive outputs):
+
+    p_out <- NOT p_in_bar
+    s_out <- NOT s_in_bar
+    d_out <- NOR(d_in_bar, (p == s)_bar)     # = d_in AND (p == s)
+
+Both twins use four gates (two inverters, an equality gate, and a
+NAND/NOR), matching the paper's "only four gates each".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import CircuitError
+from ..gates import inverter, nand2, nor2, pass_transistor, xnor_from_rails, xor_from_rails
+from ..netlist import Circuit
+
+
+def build_comparator(
+    c: Circuit, prefix: str, clk: str, positive: bool = True
+) -> Dict[str, str]:
+    """Add one comparator cell; returns its port map.
+
+    Ports (node names): ``p_in``, ``s_in``, ``d_in`` (data inputs; for the
+    negative twin these carry the complemented signals), ``p_out``,
+    ``s_out``, ``d_out`` (complemented by the cell), plus the internal
+    storage nodes ``p_store``, ``s_store``, ``d_store`` and the equality
+    node ``eq`` for white-box tests.
+    """
+    if not prefix or not prefix.endswith("."):
+        raise CircuitError("prefix must be non-empty and end with '.'")
+    p_in, s_in, d_in = prefix + "p_in", prefix + "s_in", prefix + "d_in"
+    p_st, s_st, d_st = prefix + "p_store", prefix + "s_store", prefix + "d_store"
+    p_out, s_out, d_out = prefix + "p_out", prefix + "s_out", prefix + "d_out"
+    eq = prefix + "eq"
+
+    # The three clocked pass transistors of Figure 3-6.
+    pass_transistor(c, clk, p_in, p_st, label=prefix + "pass_p")
+    pass_transistor(c, clk, s_in, s_st, label=prefix + "pass_s")
+    pass_transistor(c, clk, d_in, d_st, label=prefix + "pass_d")
+
+    # The two inverters: shift-register stages for p and s.
+    inverter(c, p_st, p_out, label=prefix + "inv_p")
+    inverter(c, s_st, s_out, label=prefix + "inv_s")
+
+    if positive:
+        # Equality of the stored (positive) operands; complements come
+        # free from the inverter outputs.
+        xnor_from_rails(c, p_st, p_out, s_st, s_out, eq, label=prefix + "xnor")
+        nand2(c, d_st, eq, d_out, label=prefix + "nand")
+    else:
+        # Stored operands are complements; their equality equals the
+        # originals' equality, and we need its COMPLEMENT for the NOR:
+        # d_out = NOR(d_bar_stored, xor) = d AND (p == s).
+        xor_from_rails(c, p_st, p_out, s_st, s_out, eq, label=prefix + "xor")
+        nor2(c, d_st, eq, d_out, label=prefix + "nor")
+
+    return {
+        "p_in": p_in, "s_in": s_in, "d_in": d_in,
+        "p_out": p_out, "s_out": s_out, "d_out": d_out,
+        "p_store": p_st, "s_store": s_st, "d_store": d_st,
+        "eq": eq,
+    }
+
+
+#: Device count of one comparator twin: 3 clocked passes, 2 inverters
+#: (2 devices each), equality gate (5 devices), NAND/NOR (3 devices).
+COMPARATOR_DEVICES = 3 + 2 * 2 + 5 + 3

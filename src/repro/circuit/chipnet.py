@@ -1,0 +1,246 @@
+"""Whole-array netlists: the pattern matcher at switch level.
+
+This module performs the paper's "Cell Boundary Layouts" wiring at the
+electrical level: it instantiates the comparator and accumulator twins in
+the Figure 3-3/3-4 arrangement -- ``w`` rows of one-bit comparators over
+one accumulator row, ``m`` columns -- with
+
+* polarity alternating along every data path ("two versions of each cell
+  must be constructed"): cell (column i, row j) is the positive twin when
+  ``(i + j)`` is even;
+* the two-phase clock doing "double duty as a data flow control signal":
+  the same parity selects the phase that activates the cell, so active
+  cells form the Figure 3-4 checkerboard;
+* row 0's ``d_in`` tied to the appropriate rail, chip-edge pins for the
+  pattern/string bit rows and the control/result streams.
+
+:class:`GateLevelMatcher` wraps the netlist in the host feeding discipline
+shared (via :func:`repro.core.bit_level.bit_feed_schedule`) with the
+behavioural bit-level model, and the test suite checks the two agree
+bit for bit -- the cross-level verification the paper's methodology
+implies between "cell logic circuits" and "algorithm".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..alphabet import Alphabet, PatternChar, parse_pattern
+from ..core.bit_level import bit_feed_schedule
+from ..errors import CircuitError, PatternError
+from ..streams import RecirculatingPattern
+from ..systolic.cell import is_bubble
+from .cells.accumulator import build_accumulator
+from .cells.comparator import build_comparator
+from .netlist import GND, VDD, Circuit
+from .signals import HIGH, LOW, UNKNOWN
+
+
+class MatcherArrayNetlist:
+    """The m-column, w-row matcher array as one switch-level circuit."""
+
+    def __init__(self, m: int, w: int, name: str = "chip",
+                 retention_ns: float = 1e6):
+        if m <= 0 or w <= 0:
+            raise CircuitError("array needs at least one column and one row")
+        self.m, self.w = m, w
+        self.circuit = Circuit(name, retention_ns=retention_ns)
+        c = self.circuit
+        self.phi = ("phi1", "phi2")
+        c.set_input("phi1", LOW)
+        c.set_input("phi2", LOW)
+
+        self.comparators: List[List[Dict[str, str]]] = []
+        self.accumulators: List[Dict[str, str]] = []
+
+        # Edge pin names.
+        self.p_edge = [f"pin.p{j}" for j in range(w)]      # left, per row
+        self.s_edge = [f"pin.s{j}" for j in range(w)]      # right, per row
+        self.lam_edge = "pin.lam"                          # left, accumulator
+        self.x_edge = "pin.x"                              # left, accumulator
+        self.r_edge = "pin.r"                              # right, accumulator
+
+        for j in range(w):
+            row: List[Dict[str, str]] = []
+            for i in range(m):
+                pos = self.is_positive(i, j)
+                clk = self.phase_of(i, j)
+                ports = build_comparator(
+                    c, f"c{i}_{j}.", clk, positive=pos
+                )
+                row.append(ports)
+            self.comparators.append(row)
+        for i in range(m):
+            pos = self.is_positive(i, w)
+            clk = self.phase_of(i, w)
+            other = self.phi[1 - self.phi.index(clk)]
+            self.accumulators.append(
+                build_accumulator(c, f"a{i}.", clk, other, positive=pos)
+            )
+
+        self._wire()
+
+    # -- placement helpers -------------------------------------------------
+
+    def is_positive(self, i: int, j: int) -> bool:
+        """Polarity of cell at column *i*, row *j* (row w = accumulator)."""
+        return (i + j) % 2 == 0
+
+    def phase_of(self, i: int, j: int) -> str:
+        """Clock phase activating cell (i, j): parity-matched to beats."""
+        return self.phi[(i + j) % 2]
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _tie(self, node: str, value) -> None:
+        self.circuit.set_input(node, value)
+
+    def _alias(self, a: str, b: str) -> None:
+        """Join two nodes with a permanent wire (always-on channel)."""
+        # A wire is an enhancement transistor whose gate is VDD.
+        self.circuit.add_enhancement(VDD, a, b, label=f"wire:{a}={b}")
+
+    def _wire(self) -> None:
+        m, w = self.m, self.w
+        for j in range(w):
+            for i in range(m):
+                ports = self.comparators[j][i]
+                # pattern: left neighbour's p_out, or the edge pin.
+                if i == 0:
+                    self._alias(self.p_edge[j], ports["p_in"])
+                else:
+                    self._alias(self.comparators[j][i - 1]["p_out"], ports["p_in"])
+                # string: right neighbour's s_out, or the edge pin.
+                if i == m - 1:
+                    self._alias(self.s_edge[j], ports["s_in"])
+                else:
+                    self._alias(self.comparators[j][i + 1]["s_out"], ports["s_in"])
+                # d: from the row above, or the TRUE rail at row 0
+                # (positive cells see VDD, negative cells see its complement).
+                if j == 0:
+                    rail = VDD if self.is_positive(i, 0) else GND
+                    self._alias(rail, ports["d_in"])
+                else:
+                    self._alias(self.comparators[j - 1][i]["d_out"], ports["d_in"])
+        for i in range(m):
+            acc = self.accumulators[i]
+            self._alias(self.comparators[w - 1][i]["d_out"], acc["d_in"])
+            if i == 0:
+                self._alias(self.lam_edge, acc["lam_in"])
+                self._alias(self.x_edge, acc["x_in"])
+            else:
+                self._alias(self.accumulators[i - 1]["lam_out"], acc["lam_in"])
+                self._alias(self.accumulators[i - 1]["x_out"], acc["x_in"])
+            if i == m - 1:
+                self._alias(self.r_edge, acc["r_in"])
+            else:
+                self._alias(self.accumulators[i + 1]["r_out"], acc["r_in"])
+        # The result edge pin carries "no result yet"; its logic value per
+        # polarity of the rightmost accumulator.
+        self._tie(self.r_edge, LOW if self.is_positive(m - 1, w) else HIGH)
+
+    # -- clocking --------------------------------------------------------------
+
+    def pulse(self, beat: int, phase_high_ns: float = 100.0,
+              gap_ns: float = 25.0) -> None:
+        """One beat: raise the beat's phase, settle, lower it."""
+        c = self.circuit
+        phase = self.phi[beat % 2]
+        c.set_input(phase, HIGH)
+        c.settle()
+        c.advance_time(phase_high_ns)
+        c.set_input(phase, LOW)
+        c.settle()
+        c.advance_time(gap_ns)
+
+    @property
+    def n_transistors(self) -> int:
+        return self.circuit.n_transistors
+
+
+class GateLevelMatcher:
+    """The pattern matcher simulated transistor by transistor.
+
+    Functionally identical to :class:`~repro.core.matcher.PatternMatcher`
+    (the tests assert it), about four orders of magnitude slower -- which
+    is the point: it demonstrates that the paper's circuits implement the
+    paper's algorithm.
+    """
+
+    def __init__(
+        self,
+        pattern,
+        alphabet: Alphabet,
+        n_cells: Optional[int] = None,
+        wildcard_symbol: str = "X",
+        retention_ns: float = 1e9,
+    ):
+        self.alphabet = alphabet
+        if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
+            self.pattern: List[PatternChar] = list(pattern)
+        else:
+            self.pattern = parse_pattern(pattern, alphabet, wildcard_symbol)
+        if n_cells is None:
+            n_cells = len(self.pattern)
+        if n_cells < len(self.pattern):
+            raise PatternError("pattern does not fit in the array")
+        self.m = n_cells
+        self.w = alphabet.bits
+        self.net = MatcherArrayNetlist(self.m, self.w, retention_ns=retention_ns)
+        self._items = RecirculatingPattern(self.pattern).items
+
+    def _set_edge(self, node: str, bit, invert: bool) -> None:
+        """Drive an edge pin, honouring the edge cell's polarity."""
+        if is_bubble(bit):
+            bit = 0  # idle slots carry arbitrary garbage; drive low
+        v = bool(bit)
+        if invert:
+            v = not v
+        self.net.circuit.set_input(node, HIGH if v else LOW)
+
+    def match(self, text: Sequence[str]) -> List[bool]:
+        """One result bit per text character (oracle convention)."""
+        chars = self.alphabet.validate_text(text)
+        m, w = self.m, self.w
+        net = self.net
+        e_s = m + 1
+        n_beats = e_s + 2 * max(0, len(chars) - 1) + w + m + 2
+        schedule = bit_feed_schedule(
+            self.alphabet, self._items, chars, m, w, e_s, n_beats
+        )
+        # Result for text position q exits the accumulator row at
+        # behavioural beat e_s + 2q + w + m, i.e. is sampled after the
+        # netlist pulse for beat (that - 1).
+        exit_beat = {e_s + 2 * q + w + m: q for q in range(len(chars))}
+        out_invert = net.is_positive(0, w)  # positive twin emits r_bar
+        # Edge-pin polarities.
+        p_inv = [not net.is_positive(0, j) for j in range(w)]
+        s_inv = [not net.is_positive(m - 1, j) for j in range(w)]
+        acc_in_inv = not net.is_positive(0, w)
+
+        results: Dict[int, bool] = {}
+        r_out_node = net.accumulators[0]["r_out"]
+        for b, beat in enumerate(schedule):
+            for j in range(w):
+                self._set_edge(net.p_edge[j], beat.p_row_in[j], p_inv[j])
+                self._set_edge(net.s_edge[j], beat.s_row_in[j], s_inv[j])
+            lam_bit = 0 if is_bubble(beat.lam_in) else int(beat.lam_in.is_last)
+            x_bit = 0 if is_bubble(beat.lam_in) else int(beat.lam_in.is_wild)
+            self._set_edge(net.lam_edge, lam_bit, acc_in_inv)
+            self._set_edge(net.x_edge, x_bit, acc_in_inv)
+            net.pulse(b)
+            q = exit_beat.get(b + 1)
+            if q is not None:
+                v = net.circuit.read(r_out_node)
+                if v is not UNKNOWN:
+                    bit = v is HIGH
+                    results[q] = (not bit) if out_invert else bit
+        k = len(self.pattern) - 1
+        return [
+            bool(results.get(i, False)) if i >= k else False
+            for i in range(len(chars))
+        ]
+
+    @property
+    def n_transistors(self) -> int:
+        return self.net.n_transistors

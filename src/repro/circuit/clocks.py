@@ -1,0 +1,111 @@
+"""Two-phase non-overlapping clock discipline (Figure 3-5).
+
+"A clock with two non-overlapping phases controls the pass transistors.
+Adjacent transistors are turned on by opposite phases of the clock, so
+that there is never a closed path between inverters that are separated by
+two transistors."
+
+:class:`TwoPhaseClock` drives two circuit nodes (phi1, phi2) through the
+four-step sequence per beat-pair and *enforces* the non-overlap invariant:
+it is impossible to reach a state with both phases high, and a
+:class:`~repro.errors.ClockError` is raised if client code forces one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ClockError
+from .netlist import Circuit
+from .signals import HIGH, LOW
+
+
+class TwoPhaseClock:
+    """Driver for a two-phase non-overlapping clock.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit whose *phi1* / *phi2* nodes the clock forces.
+    phi1, phi2:
+        Node names.
+    phase_high_ns:
+        Time a phase stays high (data transfer + logic settle).
+    gap_ns:
+        Dead time between phases (the non-overlap margin).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        phi1: str = "phi1",
+        phi2: str = "phi2",
+        phase_high_ns: float = 100.0,
+        gap_ns: float = 25.0,
+    ):
+        if phase_high_ns <= 0 or gap_ns < 0:
+            raise ClockError("phase times must be positive")
+        self.circuit = circuit
+        self.phi1 = phi1
+        self.phi2 = phi2
+        self.phase_high_ns = phase_high_ns
+        self.gap_ns = gap_ns
+        self.ticks = 0
+        circuit.set_input(phi1, LOW)
+        circuit.set_input(phi2, LOW)
+
+    # -- invariants -------------------------------------------------------------
+
+    def _check_nonoverlap(self) -> None:
+        if (
+            self.circuit.inputs.get(self.phi1) is HIGH
+            and self.circuit.inputs.get(self.phi2) is HIGH
+        ):
+            raise ClockError("both clock phases high: non-overlap violated")
+
+    @property
+    def beat_time_ns(self) -> float:
+        """One beat = one phase high plus one gap."""
+        return self.phase_high_ns + self.gap_ns
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _pulse(self, phase: str, on_high: Optional[Callable[[], None]] = None) -> None:
+        """Raise one phase, settle, optionally sample, then lower it."""
+        c = self.circuit
+        c.set_input(phase, HIGH)
+        self._check_nonoverlap()
+        c.settle()
+        if on_high is not None:
+            on_high()
+        c.advance_time(self.phase_high_ns)
+        c.set_input(phase, LOW)
+        c.settle()
+        c.advance_time(self.gap_ns)
+        self.ticks += 1
+
+    def tick_phi1(self, on_high: Optional[Callable[[], None]] = None) -> None:
+        """One phi1 pulse (transfers data into phi1-clocked stages)."""
+        self._pulse(self.phi1, on_high)
+
+    def tick_phi2(self, on_high: Optional[Callable[[], None]] = None) -> None:
+        """One phi2 pulse."""
+        self._pulse(self.phi2, on_high)
+
+    def beat_pair(self) -> None:
+        """A full clock cycle: phi1 pulse then phi2 pulse."""
+        self.tick_phi1()
+        self.tick_phi2()
+
+    def run_beats(self, n: int) -> None:
+        """Alternate phases for *n* beats, starting with phi1."""
+        for i in range(n):
+            if i % 2 == 0:
+                self.tick_phi1()
+            else:
+                self.tick_phi2()
+
+    def idle(self, duration_ns: float) -> None:
+        """Let time pass with both phases low (dynamic nodes age)."""
+        self.circuit.advance_time(duration_ns)
+        self.circuit.settle()

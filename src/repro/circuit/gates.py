@@ -1,0 +1,81 @@
+"""Gate macros built from NMOS transistors.
+
+Every gate is ratioed NMOS: a depletion pullup on the output plus an
+enhancement pulldown network to GND.  The macros add devices to an
+existing :class:`~repro.circuit.netlist.Circuit` and return the output
+node name, so cells compose them freely.
+
+The exclusive-NOR gate follows the structure available inside the
+comparator cell: both polarities of each operand exist (the stored input
+and its inverter output), so equality is a two-path pulldown --
+``out`` is pulled low when ``a AND NOT b`` or ``NOT a AND b``.
+"""
+
+from __future__ import annotations
+
+from .netlist import GND, VDD, Circuit
+
+
+def inverter(c: Circuit, inp: str, out: str, label: str = "inv") -> str:
+    """Depletion-load inverter: ``out = NOT inp``."""
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    c.add_enhancement(inp, out, GND, label=f"{label}.pulldown")
+    return out
+
+
+def pass_transistor(c: Circuit, gate: str, a: str, b: str, label: str = "pass") -> None:
+    """Bidirectional switch between *a* and *b* controlled by *gate*."""
+    c.add_enhancement(gate, a, b, label=label)
+
+
+def nand2(c: Circuit, a: str, b: str, out: str, label: str = "nand") -> str:
+    """Two-input NAND: series pulldown."""
+    mid = f"{out}.n"
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    c.add_enhancement(a, out, mid, label=f"{label}.a")
+    c.add_enhancement(b, mid, GND, label=f"{label}.b")
+    return out
+
+
+def nand3(c: Circuit, a: str, b: str, d: str, out: str, label: str = "nand3") -> str:
+    """Three-input NAND: series pulldown stack."""
+    m1, m2 = f"{out}.n1", f"{out}.n2"
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    c.add_enhancement(a, out, m1, label=f"{label}.a")
+    c.add_enhancement(b, m1, m2, label=f"{label}.b")
+    c.add_enhancement(d, m2, GND, label=f"{label}.c")
+    return out
+
+
+def nor2(c: Circuit, a: str, b: str, out: str, label: str = "nor") -> str:
+    """Two-input NOR: parallel pulldown."""
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    c.add_enhancement(a, out, GND, label=f"{label}.a")
+    c.add_enhancement(b, out, GND, label=f"{label}.b")
+    return out
+
+
+def xnor_from_rails(
+    c: Circuit, a: str, a_bar: str, b: str, b_bar: str, out: str,
+    label: str = "xnor",
+) -> str:
+    """Equality gate given both polarities of both operands.
+
+    ``out`` is pulled low when the operands differ: pulldown paths
+    ``a & b_bar`` and ``a_bar & b``.
+    """
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    m1, m2 = f"{out}.m1", f"{out}.m2"
+    c.add_enhancement(a, out, m1, label=f"{label}.p1a")
+    c.add_enhancement(b_bar, m1, GND, label=f"{label}.p1b")
+    c.add_enhancement(a_bar, out, m2, label=f"{label}.p2a")
+    c.add_enhancement(b, m2, GND, label=f"{label}.p2b")
+    return out
+
+
+def xor_from_rails(
+    c: Circuit, a: str, a_bar: str, b: str, b_bar: str, out: str,
+    label: str = "xor",
+) -> str:
+    """Difference gate: pulled low when operands are equal."""
+    return xnor_from_rails(c, a, a_bar, b_bar, b, out, label=label)

@@ -1,0 +1,181 @@
+"""The relaxation switch-level solver.
+
+Evaluation follows the classic switch-level discipline (Bryant's MOSSIM,
+specialised to ratioed NMOS):
+
+1. classify every enhancement channel as ON / OFF / MAYBE from its gate
+   value;
+2. group nodes into channel-connected components over the ON edges;
+3. resolve each component's value from its strongest contributions --
+   forced pins, rails reached through channels (PULL), depletion loads
+   (LOAD), stored charge (CHARGE); equal-strength disagreement gives X.
+   A pulldown path to GND therefore overpowers a depletion load, which is
+   exactly the ratioed-logic design rule the paper's gates depend on;
+4. propagate pessimism across MAYBE channels: a component whose
+   maybe-neighbour is at least as strong and disagrees becomes X;
+5. write back node values and repeat until a fixed point (gate values feed
+   step 1), with an iteration cap that flags oscillating circuits.
+
+Charge decay: a component resolved at CHARGE strength keeps its nodes'
+``last_refresh`` timestamps; when simulated time has advanced more than
+the retention window since a node was last driven, its stored value reads
+as UNKNOWN.  This is the "dynamic shift registers ... are incapable of
+holding data for more than about 1 ms without shifting" of Section 3.3.3,
+and the strict mode raises :class:`~repro.errors.ChargeDecayError` so
+tests can assert the failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ChargeDecayError, CircuitError
+from .netlist import GND, VDD, Circuit
+from .signals import HIGH, LOW, UNKNOWN, LogicValue, Strength, resolve
+
+
+class _UnionFind:
+    """Plain union-find over node names."""
+
+    def __init__(self, names):
+        self.parent = {n: n for n in names}
+
+    def find(self, x: str) -> str:
+        p = self.parent
+        root = x
+        while p[root] != root:
+            root = p[root]
+        while p[x] != root:
+            p[x], x = root, p[x]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def settle(circuit: Circuit, max_iterations: int = 60,
+           strict_decay: bool = False) -> int:
+    """Relax *circuit* to a fixed point; returns the iteration count."""
+    for iteration in range(max_iterations):
+        changed = _one_pass(circuit, strict_decay)
+        if not changed:
+            return iteration + 1
+    raise CircuitError(
+        f"{circuit.name}: did not settle in {max_iterations} iterations "
+        f"(oscillating or ill-formed circuit)"
+    )
+
+
+def _one_pass(circuit: Circuit, strict_decay: bool) -> bool:
+    """One relaxation pass; returns True if any node value changed."""
+    nodes = circuit.nodes
+    now = circuit.time_ns
+    retention = circuit.retention_ns
+
+    on_edges: List[Tuple[str, str]] = []
+    maybe_edges: List[Tuple[str, str]] = []
+    for t in circuit.transistors:
+        g = nodes[t.gate].value
+        if g is HIGH:
+            on_edges.append((t.a, t.b))
+        elif g is UNKNOWN:
+            maybe_edges.append((t.a, t.b))
+
+    uf = _UnionFind(nodes.keys())
+    for a, b in on_edges:
+        uf.union(a, b)
+
+    members: Dict[str, List[str]] = {}
+    for name in nodes:
+        members.setdefault(uf.find(name), []).append(name)
+
+    loads_by_node: Dict[str, bool] = {d.node: True for d in circuit.loads}
+
+    resolved: Dict[str, Tuple[LogicValue, Strength]] = {}
+    for root, group in members.items():
+        value, strength = UNKNOWN, Strength.NONE
+        for name in group:
+            node = nodes[name]
+            # Rails are infinite sources: a path to VDD/GND dominates any
+            # other driver in the component (ratioed-logic pulldowns win;
+            # a forced pin cannot out-drive the ground network it shorts
+            # to).  Two rails in one component still fight to X.
+            if name == VDD:
+                value, strength = resolve(value, strength, HIGH, Strength.FORCED)
+            elif name == GND:
+                value, strength = resolve(value, strength, LOW, Strength.FORCED)
+            if name in circuit.inputs:
+                # Through channels a forced pin drives at PULL strength,
+                # like the rails: a pass-transistor chain attenuates, so an
+                # external driver must not overpower an active pulldown
+                # deep inside the circuit (that mis-modelling lets power-on
+                # garbage lock itself in via conducting multiplexer paths).
+                # The pin node itself is re-pinned FORCED at writeback.
+                value, strength = resolve(
+                    value, strength, circuit.inputs[name], Strength.PULL
+                )
+            if name in loads_by_node:
+                value, strength = resolve(value, strength, HIGH, Strength.LOAD)
+        if strength <= Strength.CHARGE:
+            # Undriven component: retained charge (with decay).
+            for name in group:
+                node = nodes[name]
+                stored = node.value
+                if (
+                    node.strength <= Strength.CHARGE
+                    and now - node.last_refresh > retention
+                    and stored is not UNKNOWN
+                ):
+                    if strict_decay:
+                        raise ChargeDecayError(
+                            f"{circuit.name}: node {name} read "
+                            f"{now - node.last_refresh:.0f} ns after last "
+                            f"refresh (retention {retention:.0f} ns)"
+                        )
+                    stored = UNKNOWN
+                value, strength = resolve(value, strength, stored, Strength.CHARGE)
+        resolved[root] = (value, strength)
+
+    # Pessimism across MAYBE channels, applied to the transistor's own
+    # terminal nodes rather than whole components: an unknown gate may
+    # connect its two terminals, so a terminal whose side is no stronger
+    # than the other side might take the other side's value -- mark it X.
+    # (Component-wide downgrade would smear X across the entire GND/VDD
+    # networks, wiping out every active pulldown in the circuit.)
+    maybe_x: set = set()
+    for a, b in maybe_edges:
+        ra, rb = uf.find(a), uf.find(b)
+        if ra == rb:
+            continue
+        va, sa = resolved[ra]
+        vb, sb = resolved[rb]
+        if va == vb and va is not UNKNOWN:
+            continue
+        if sb >= sa:
+            maybe_x.add(a)
+        if sa >= sb:
+            maybe_x.add(b)
+
+    changed = False
+    for root, group in members.items():
+        value, strength = resolved[root]
+        driven = strength >= Strength.LOAD
+        for name in group:
+            node = nodes[name]
+            if name == VDD or name == GND:
+                continue
+            if name in circuit.inputs:
+                value_n, strength_n = circuit.inputs[name], Strength.FORCED
+            elif name in maybe_x:
+                value_n, strength_n = UNKNOWN, strength
+            else:
+                value_n, strength_n = value, strength
+            if node.value != value_n:
+                changed = True
+            node.value = value_n
+            node.strength = strength_n
+            if driven or name in circuit.inputs:
+                node.last_refresh = now
+    return changed

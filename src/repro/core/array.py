@@ -1,0 +1,222 @@
+"""The bidirectional systolic matcher array and its host-side driver.
+
+This module realises the data flow of Section 3.2.1:
+
+* the pattern recirculates left-to-right, one character every other beat,
+  carrying its ``x`` and ``lambda`` bits;
+* the text string flows right-to-left at the same rate;
+* alternate cells are idle each beat so that opposing characters *meet*
+  rather than pass;
+* results travel leftward with the string, each match bit leaving the
+  array alongside the last character of its substring.
+
+Feeding discipline
+------------------
+
+With ``m`` cells, pattern items enter cell 0 on beats 0, 2, 4, ...; a text
+character entering cell ``m-1`` on beat ``e`` meets pattern characters (as
+opposed to passing them between cells) iff ``e = (m-1) (mod 2)``.  The
+driver enters the first text character at beat ``m+1`` -- the smallest
+correctly-phased beat by which the recirculating pattern has filled the
+whole array.  This guarantees that every text character meets a full
+pattern period during its transit, so every complete-window result is
+exact; the fill-up slots the host must discard are exactly the positions
+``i < k`` for which no complete substring exists (see
+``tests/test_core_array.py`` for the property-based verification against
+the oracle).
+
+The driver is generic over the cell kernel: the Section 3.4 extension
+machines (counting, correlation) reuse it unchanged with different kernels
+and numeric stream items -- the paper's point that these machines share
+the matcher's data flow, differing only in cell function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import PatternError, SimulationError
+from ..systolic.cell import BUBBLE, is_bubble
+from ..systolic.engine import ChannelDirection, ChannelSpec, LinearArray
+from ..systolic.tracing import TraceRecorder
+from .cells import MatcherCellKernel, ResultToken
+
+
+@dataclass(frozen=True)
+class TextToken:
+    """A text character tagged with its stream position.
+
+    The tag exists only for host-side bookkeeping and verification; the
+    cell kernels read ``.char`` alone, exactly as the hardware sees only
+    the character bits.
+    """
+
+    char: object
+    index: int
+
+    def __str__(self) -> str:
+        return str(self.char)
+
+
+#: The three data channels of Figure 3-3 (``lambda`` and ``x`` ride inside
+#: the pattern items; in the silicon they are two extra wires through the
+#: accumulator row with identical timing).
+MATCHER_CHANNELS = (
+    ChannelSpec("p", ChannelDirection.RIGHT),
+    ChannelSpec("s", ChannelDirection.LEFT),
+    ChannelSpec("r", ChannelDirection.LEFT),
+)
+
+
+class SystolicMatcherArray:
+    """A linear array of character cells plus the host feeding discipline.
+
+    Parameters
+    ----------
+    n_cells:
+        Array length ``m``.  A pattern of length L requires ``m >= L``
+        ("The number of character cells required is therefore no more
+        than the number of characters in the pattern").
+    kernel_factory:
+        Builds the per-cell kernel; defaults to the paper's matcher cell.
+    recorder:
+        Optional trace recorder (Figure 3-2 reproduction).
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        kernel_factory: Callable[[int], object] = None,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        if kernel_factory is None:
+            kernel_factory = lambda i: MatcherCellKernel()
+        self.array = LinearArray(
+            n_cells=n_cells,
+            channels=MATCHER_CHANNELS,
+            kernel_factory=kernel_factory,
+            activity_channels=("p", "s"),
+            recorder=recorder,
+        )
+
+    @property
+    def n_cells(self) -> int:
+        return self.array.n_cells
+
+    # -- feeding schedule ---------------------------------------------------
+
+    def text_entry_beat(self) -> int:
+        """First beat on which a text character enters the array.
+
+        ``m + 1`` is the smallest beat that (a) has the parity required
+        for the opposing streams to meet and (b) lets the pattern fill the
+        array first.
+        """
+        return self.n_cells + 1
+
+    def input_schedule(
+        self,
+        pattern_cycle: Sequence[object],
+        text_tokens: Sequence[TextToken],
+        n_beats: int,
+        recirculate: bool = True,
+        pattern_offset: int = 0,
+    ) -> List[Dict[str, object]]:
+        """Per-beat channel inputs implementing the feeding discipline.
+
+        With ``recirculate`` (the normal chip operation) the pattern wraps
+        around forever.  With ``recirculate=False`` the pattern streams
+        through exactly once, starting ``pattern_offset`` pattern-beats
+        late (beat ``2 * pattern_offset``) -- the mode used by the
+        Section 3.4 multipass scheme for patterns longer than the array.
+        """
+        if not pattern_cycle:
+            raise PatternError("pattern cycle must be non-empty")
+        e_s = self.text_entry_beat()
+        if recirculate:
+            pat = itertools.cycle(pattern_cycle)
+        else:
+            pat = iter(pattern_cycle)
+        schedule: List[Dict[str, object]] = []
+        for b in range(n_beats):
+            beat_in: Dict[str, object] = {}
+            if b % 2 == 0 and b // 2 >= pattern_offset:
+                item = next(pat, None)
+                if item is not None:
+                    beat_in["p"] = item
+            if b >= e_s and (b - e_s) % 2 == 0:
+                q = (b - e_s) // 2
+                if q < len(text_tokens):
+                    beat_in["s"] = text_tokens[q]
+            schedule.append(beat_in)
+        return schedule
+
+    def beats_needed(
+        self, n_text: int, pattern_len: int = 0, pattern_offset: int = 0
+    ) -> int:
+        """Beats until the last text character (and its result) has exited.
+
+        For single-pass runs the pattern tail must also have drained, so
+        the pattern timing participates in the bound.
+        """
+        e_s = self.text_entry_beat()
+        last_text_entry = e_s + 2 * max(0, n_text - 1)
+        last_pattern_entry = 2 * (pattern_offset + max(0, pattern_len - 1))
+        return max(last_text_entry, last_pattern_entry) + self.n_cells + 1
+
+    # -- end-to-end run -------------------------------------------------------
+
+    def run(
+        self,
+        pattern_cycle: Sequence[object],
+        text: Sequence[object],
+        reset: bool = True,
+        recirculate: bool = True,
+        pattern_offset: int = 0,
+    ) -> Dict[int, object]:
+        """Stream *text* against the recirculating *pattern_cycle*.
+
+        Returns a mapping from text position to the emitted result payload
+        (the ``.value`` of the :class:`~repro.core.cells.ResultToken` that
+        exited alongside that text character).  Positions whose window is
+        incomplete carry fill-up garbage and are still returned; the
+        public :class:`~repro.core.matcher.PatternMatcher` masks them.
+        """
+        if reset:
+            self.array.reset()
+        tokens = [
+            t if isinstance(t, TextToken) else TextToken(t, i)
+            for i, t in enumerate(text)
+        ]
+        for i, t in enumerate(tokens):
+            if t.index != i:
+                raise SimulationError("text token indices must be 0..N-1 in order")
+        n_beats = self.beats_needed(
+            len(tokens),
+            pattern_len=0 if recirculate else len(pattern_cycle),
+            pattern_offset=pattern_offset,
+        )
+        schedule = self.input_schedule(
+            pattern_cycle,
+            tokens,
+            n_beats,
+            recirculate=recirculate,
+            pattern_offset=pattern_offset,
+        )
+        results: Dict[int, object] = {}
+        for beat_in in schedule:
+            out = self.array.step(beat_in)
+            s_out = out["s"]
+            if not is_bubble(s_out):
+                r_out = out["r"]
+                if isinstance(r_out, ResultToken):
+                    results[s_out.index] = r_out.value
+                elif not is_bubble(r_out):
+                    results[s_out.index] = r_out
+        return results
+
+    def utilization(self) -> float:
+        """Fraction of cell-beats on which a cell fired (approaches 1/2)."""
+        return self.array.utilization()

@@ -1,0 +1,136 @@
+"""The two cell algorithms of Section 3.2.1, at the character level.
+
+Figure 3-3 splits every character cell into two stacked modules:
+
+* the **comparator** (top row): pattern flows left-to-right, string flows
+  right-to-left, and the cell hands the equality result ``d`` down to the
+  accumulator beneath it;
+* the **accumulator** (bottom row): receives ``d`` from above together with
+  the end-of-pattern bit ``lambda`` and the don't-care bit ``x`` that
+  travel with the pattern, maintains the temporary result ``t``, and at
+  the end of the pattern uses ``t`` to replace the result ``r`` flowing
+  right-to-left with the string.
+
+The normative per-active-beat semantics (see DESIGN.md for the OCR
+reconstruction):
+
+    d        = (p_in == s_in)                    # comparator
+    t'       = t AND (x_in OR d)                 # accumulator
+    if lambda_in:  r_out = t' ; t = TRUE         # emit & re-initialise
+    else:          r_out = r_in ; t = t'
+
+The two classes below implement the modules separately (so the Figure 3-3
+structure is inspectable and so the switch-level circuit models can be
+checked against each module in isolation), and
+:class:`MatcherCellKernel` composes them into one systolic cell for the
+:class:`~repro.systolic.engine.LinearArray` engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..streams import PatternStreamItem
+
+
+@dataclass(frozen=True)
+class ResultToken:
+    """A result value travelling leftward with the string stream."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is True:
+            return "1"
+        if self.value is False:
+            return "0"
+        return str(self.value)
+
+
+class ComparatorCell:
+    """Character-level comparator: ``d_out <- (p_in == s_in)``.
+
+    Stateless at the character level.  (At the bit level -- Figure 3-4 --
+    the comparator also ANDs in the partial result from the bit above;
+    see :mod:`repro.core.bit_level`.)
+    """
+
+    def compare(self, p_char: str, s_char: str) -> bool:
+        return p_char == s_char
+
+
+class AccumulatorCell:
+    """The accumulator of Section 3.2.1.
+
+    Keeps the temporary result ``t`` between beats; ``t`` powers on TRUE
+    (the paper's initialisation ``t <- TRUE`` is also applied on every
+    end-of-pattern beat, which is what makes the recirculating pattern
+    self-cleaning after array fill-up).
+    """
+
+    def __init__(self) -> None:
+        self.t: bool = True
+
+    def reset(self) -> None:
+        self.t = True
+
+    def absorb(self, d: bool, x_in: bool, lambda_in: bool) -> Optional[ResultToken]:
+        """Process one active beat.
+
+        Returns the freshly emitted :class:`ResultToken` on end-of-pattern
+        beats (``r_out <- t``), or ``None`` on ordinary beats, where the
+        cell simply lets the incoming result slot pass through
+        (``r_out <- r_in``).
+        """
+        t_updated = self.t and (x_in or d)
+        if lambda_in:
+            self.t = True
+            return ResultToken(t_updated)
+        self.t = t_updated
+        return None
+
+
+class MatcherCellKernel:
+    """One character cell = comparator stacked on accumulator.
+
+    Channel protocol (matching :class:`repro.core.array.SystolicMatcherArray`):
+
+    ``p``
+        rightward; carries :class:`~repro.streams.PatternStreamItem`
+        (character + ``x`` + ``lambda`` bits).
+    ``s``
+        leftward; carries :class:`~repro.core.array.TextToken`.
+    ``r``
+        leftward; carries :class:`ResultToken` (or a bubble/garbage slot
+        before the first emission for that string position).
+
+    The kernel fires only when both ``p`` and ``s`` are valid -- the
+    alternate-beat activation of Figure 3-2.
+    """
+
+    #: exposed for tracing/tests: the last comparison result of this cell
+    last_d: Optional[bool]
+
+    def __init__(self) -> None:
+        self.comparator = ComparatorCell()
+        self.accumulator = AccumulatorCell()
+        self.last_d = None
+
+    def reset(self) -> None:
+        self.accumulator.reset()
+        self.last_d = None
+
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        p: PatternStreamItem = inputs["p"]
+        s = inputs["s"]
+        d = self.comparator.compare(p.char, s.char)
+        self.last_d = d
+        emitted = self.accumulator.absorb(d, p.is_wild, p.is_last)
+        out: Dict[str, object] = {"p": p, "s": s}
+        if emitted is not None:
+            out["r"] = emitted
+        return out
+
+    def state_snapshot(self) -> Dict[str, object]:
+        return {"t": self.accumulator.t, "d": self.last_d}

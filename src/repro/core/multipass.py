@@ -1,0 +1,74 @@
+"""Matching patterns longer than the array: the multipass scheme.
+
+Section 3.4: "If the pattern to be matched is longer than the capacity of
+the available pattern matching system, the pattern can be run through the
+system several times to match it against the entire string.  If the system
+contains a total of n character cells, each run will match the complete
+pattern against n substrings.  To cover all substrings, all we need do is
+delay the string by n characters on succeeding runs."
+
+Mechanics (derived in ``tests/test_core_multipass.py`` against the
+oracle): on each run the pattern streams through the array exactly once
+(no recirculation).  With the pattern offset by ``a`` pattern-beats
+relative to the string, cell *i* accumulates the window that starts at
+text position ``a + i - m`` (``m`` = array cells), so one run yields the
+``m`` consecutive window results ending at positions
+``(L-1) + (a-m) ... (L-1) + (a-m) + m - 1``.  Choosing ``a = (r+1) * m``
+for run ``r`` tiles the whole text.  Shifting the pattern later is the
+mirror image of the paper's "delay the string", and avoids re-buffering
+the text stream in the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+from ..streams import RecirculatingPattern
+from .array import SystolicMatcherArray
+
+
+def multipass_match(
+    pattern: Sequence[PatternChar],
+    text: Sequence[str],
+    n_cells: int,
+) -> List[bool]:
+    """Match a pattern of any length on an ``n_cells``-cell system.
+
+    Returns the same result stream as
+    :meth:`repro.core.matcher.PatternMatcher.match`; the number of runs is
+    ``ceil(max(0, N - k) / n_cells)`` where ``k = len(pattern) - 1``.
+    """
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    if n_cells <= 0:
+        raise PatternError("n_cells must be positive")
+    pattern = list(pattern)
+    items = RecirculatingPattern(pattern).items  # one period, with lambda/x bits
+    L = len(pattern)
+    k = L - 1
+    n = len(text)
+    results: Dict[int, object] = {}
+    array = SystolicMatcherArray(n_cells)
+    run = 0
+    # Run r covers ending positions k + r*n_cells .. k + (r+1)*n_cells - 1.
+    while k + run * n_cells < n:
+        offset = (run + 1) * n_cells
+        raw = array.run(
+            items, text, reset=True, recirculate=False, pattern_offset=offset
+        )
+        lo = k + run * n_cells
+        hi = min(n - 1, lo + n_cells - 1)
+        for q in range(lo, hi + 1):
+            if q in raw:
+                results[q] = raw[q]
+        run += 1
+    return [bool(results.get(i, False)) if i >= k else False for i in range(n)]
+
+
+def runs_required(pattern_length: int, text_length: int, n_cells: int) -> int:
+    """How many passes the scheme needs (for the economics benches)."""
+    k = pattern_length - 1
+    covered = max(0, text_length - k)
+    return -(-covered // n_cells) if covered else 0

@@ -1,0 +1,83 @@
+"""Oracle implementations of the Section 3.1 problem definition.
+
+The paper defines the output bit stream by
+
+    r_i = (s_{i-k} = p_0) AND (s_{i+1-k} = p_1) AND ... AND (s_i = p_k)
+
+with the wild-card character deemed to match anything.  These functions
+compute that definition directly (O(N * L) time) and serve as the ground
+truth against which every hardware model and baseline in the library is
+verified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..alphabet import PatternChar
+from ..errors import PatternError
+
+
+def match_oracle(pattern: Sequence[PatternChar], text: Sequence[str]) -> List[bool]:
+    """The result bit stream of Section 3.1.
+
+    Returns one boolean per text position *i*; positions ``i < k`` (where
+    no complete substring ends) are False, matching the convention of
+    Figure 3-1 where the first possible match is at position k.
+    """
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    k = len(pattern) - 1
+    out: List[bool] = []
+    for i in range(len(text)):
+        if i < k:
+            out.append(False)
+            continue
+        out.append(
+            all(pattern[j].matches(text[i - k + j]) for j in range(len(pattern)))
+        )
+    return out
+
+
+def count_oracle(pattern: Sequence[PatternChar], text: Sequence[str]) -> List[int]:
+    """Oracle for the Section 3.4 counting extension.
+
+    For each text position *i* with a complete window, the number of
+    pattern positions that match the corresponding text character
+    (wild cards always count).  Positions ``i < k`` report 0.
+    """
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    k = len(pattern) - 1
+    out: List[int] = []
+    for i in range(len(text)):
+        if i < k:
+            out.append(0)
+            continue
+        out.append(
+            sum(1 for j in range(len(pattern)) if pattern[j].matches(text[i - k + j]))
+        )
+    return out
+
+
+def correlation_oracle(
+    pattern: Sequence[float], signal: Sequence[float]
+) -> List[float]:
+    """Oracle for the Section 3.4 correlation extension.
+
+    r_i = sum_j (s_{i-k+j} - p_j)^2 for complete windows; 0.0 earlier.
+    (The paper calls a *small* squared distance a good match; it labels the
+    quantity a correlation.)
+    """
+    if len(pattern) == 0:
+        raise PatternError("pattern must be non-empty")
+    k = len(pattern) - 1
+    out: List[float] = []
+    for i in range(len(signal)):
+        if i < k:
+            out.append(0.0)
+            continue
+        out.append(
+            sum((signal[i - k + j] - pattern[j]) ** 2 for j in range(len(pattern)))
+        )
+    return out

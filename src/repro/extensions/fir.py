@@ -1,0 +1,50 @@
+"""FIR filtering on the matcher's data flow (Section 3.4).
+
+A causal FIR filter with taps ``b_0 .. b_k`` computes
+
+    y_i = sum_j b_j * x_{i-j},   i = 0 .. N-1
+
+(with x_m = 0 for m < 0).  This is the sliding inner product of the
+reversed tap vector against the signal zero-padded with k leading samples,
+so the systolic array computes it directly -- the paper's point that the
+pattern matcher, the correlator and a digital filter are one machine with
+different cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import PatternError
+from .convolution import systolic_inner_products
+
+
+def systolic_fir(
+    taps: Sequence[float],
+    signal: Sequence[float],
+    n_cells: Optional[int] = None,
+) -> List[float]:
+    """Apply a causal FIR filter; returns one output per input sample."""
+    b = [float(v) for v in taps]
+    x = [float(v) for v in signal]
+    if not b:
+        raise PatternError("FIR filter needs at least one tap")
+    if not x:
+        return []
+    k = len(b) - 1
+    padded = [0.0] * k + x
+    ips = systolic_inner_products(list(reversed(b)), padded, n_cells=n_cells)
+    # Padded window ending at index k + i covers x_{i-k} .. x_i.
+    return [ips[k + i] for i in range(len(x))]
+
+
+def fir_oracle(taps: Sequence[float], signal: Sequence[float]) -> List[float]:
+    """Direct evaluation of the FIR definition, for testing."""
+    b = [float(v) for v in taps]
+    x = [float(v) for v in signal]
+    out: List[float] = []
+    for i in range(len(x)):
+        out.append(
+            sum(b[j] * x[i - j] for j in range(len(b)) if 0 <= i - j)
+        )
+    return out

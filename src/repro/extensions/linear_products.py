@@ -1,0 +1,181 @@
+"""The Fischer-Paterson linear-product family on the systolic data flow.
+
+Section 3.1 observes that "all of the linear product problems discussed in
+[Fischer and Paterson 74] are similar in form to string matching", and
+Section 3.4 shows two instances (counting, correlation).  A linear product
+over operators (\\otimes, \\oplus) is
+
+    r_i = \\oplus_{j=0..k}  (p_j \\otimes s_{i-k+j})
+
+String matching is the instance (\\otimes = matches, \\oplus = AND);
+counting is (matches-as-0/1, +); correlation is (squared difference, +);
+polynomial multiplication / convolution is (*, +); the min-plus product
+used in shortest-path computations is (+, min).
+
+:class:`LinearProductMachine` runs *any* instance on the matcher's data
+flow, demonstrating the paper's claim that the data flow is the reusable
+design and the cell function the variation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import PatternError
+from ..core.array import SystolicMatcherArray
+from ..core.cells import ResultToken
+from .correlation import NumericPatternItem, numeric_pattern_cycle
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """The cell algebra of a linear product.
+
+    ``combine``    -- the \\otimes applied where pattern meets stream.
+    ``accumulate`` -- the \\oplus folding combine-results into ``t``.
+    ``identity``   -- the \\oplus identity used to (re)initialise ``t``.
+    """
+
+    name: str
+    combine: Callable[[object, object], object]
+    accumulate: Callable[[object, object], object]
+    identity: object
+
+
+#: Boolean AND of equalities: plain string matching (no wild cards).
+MATCHING = Semiring(
+    "matching",
+    combine=lambda p, s: p == s,
+    accumulate=lambda t, d: t and d,
+    identity=True,
+)
+
+#: Count of equal positions.
+COUNTING = Semiring(
+    "counting",
+    combine=lambda p, s: 1 if p == s else 0,
+    accumulate=lambda t, d: t + d,
+    identity=0,
+)
+
+#: Sum of squared differences (the Section 3.4 correlation).
+SQUARED_DISTANCE = Semiring(
+    "squared-distance",
+    combine=lambda p, s: (s - p) * (s - p),
+    accumulate=lambda t, d: t + d,
+    identity=0.0,
+)
+
+#: Sliding inner products (convolution / polynomial product core).
+INNER_PRODUCT = Semiring(
+    "inner-product",
+    combine=lambda p, s: p * s,
+    accumulate=lambda t, d: t + d,
+    identity=0.0,
+)
+
+#: Min-plus (tropical) product.
+MIN_PLUS = Semiring(
+    "min-plus",
+    combine=lambda p, s: p + s,
+    accumulate=min,
+    identity=float("inf"),
+)
+
+
+class LinearProductCellKernel:
+    """Generic cell: ``t <- accumulate(t, combine(p, s))`` with lambda reset."""
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self.t = semiring.identity
+
+    def reset(self) -> None:
+        self.t = self.semiring.identity
+
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        p: NumericPatternItem = inputs["p"]
+        s = inputs["s"]
+        d = self.semiring.combine(p.value, s.char)
+        t_updated = self.semiring.accumulate(self.t, d)
+        out: Dict[str, object] = {"p": p, "s": s}
+        if p.is_last:
+            out["r"] = ResultToken(t_updated)
+            self.t = self.semiring.identity
+        else:
+            self.t = t_updated
+        return out
+
+    def state_snapshot(self) -> Dict[str, object]:
+        return {"t": self.t}
+
+
+class LinearProductMachine:
+    """Compute any linear product with the matcher's data flow.
+
+    >>> m = LinearProductMachine([1, 2, 3], INNER_PRODUCT)
+    >>> m.run([1, 1, 1, 1])          # windows [1,1,1]: 1+2+3
+    [0.0, 0.0, 6.0, 6.0]
+    """
+
+    def __init__(
+        self,
+        pattern: Sequence[object],
+        semiring: Semiring,
+        n_cells: Optional[int] = None,
+        incomplete: object = None,
+    ):
+        values = list(pattern)
+        if not values:
+            raise PatternError("pattern must be non-empty")
+        if n_cells is None:
+            n_cells = len(values)
+        if n_cells < len(values):
+            raise PatternError("pattern does not fit in the array")
+        self.pattern = values
+        self.semiring = semiring
+        self.incomplete = (
+            incomplete if incomplete is not None else semiring.identity
+        )
+        self.array = SystolicMatcherArray(
+            n_cells, kernel_factory=lambda i: LinearProductCellKernel(semiring)
+        )
+        n = len(values)
+        self._items = [
+            NumericPatternItem(v, i == n - 1) for i, v in enumerate(values)
+        ]
+
+    def run(self, stream: Sequence[object]) -> List[object]:
+        """One linear-product result per stream element."""
+        samples = list(stream)
+        raw = self.array.run(self._items, samples)
+        k = len(self.pattern) - 1
+        return [
+            raw.get(i, self.incomplete) if i >= k else self.incomplete
+            for i in range(len(samples))
+        ]
+
+
+def linear_product_oracle(
+    pattern: Sequence[object],
+    stream: Sequence[object],
+    semiring: Semiring,
+    incomplete: object = None,
+) -> List[object]:
+    """Direct evaluation of the linear-product definition, for testing."""
+    if not pattern:
+        raise PatternError("pattern must be non-empty")
+    k = len(pattern) - 1
+    if incomplete is None:
+        incomplete = semiring.identity
+    out: List[object] = []
+    for i in range(len(stream)):
+        if i < k:
+            out.append(incomplete)
+            continue
+        t = semiring.identity
+        for j in range(len(pattern)):
+            t = semiring.accumulate(t, semiring.combine(pattern[j], stream[i - k + j]))
+        out.append(t)
+    return out

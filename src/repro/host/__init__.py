@@ -1,0 +1,16 @@
+"""The Figure 1-1 system: special-purpose chips on a general-purpose host.
+
+"Special-purpose VLSI chips can be used as peripheral devices attached to
+a conventional host computer.  The resulting system can be considered as
+an efficient general-purpose computer, if many types of chips are
+attached" -- the figure shows a pattern matcher, an FFT device and a
+sorter.  This subpackage models that system: a beat-synchronous bus with
+a host memory-bandwidth budget, an attached-device protocol, and the
+three devices of the figure.
+"""
+
+from .bus import HostBus, HostSpec
+from .device import AttachedDevice
+from .system import HostSystem
+
+__all__ = ["AttachedDevice", "HostBus", "HostSpec", "HostSystem"]

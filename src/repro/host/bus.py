@@ -1,0 +1,82 @@
+"""The host bus and the 1979-vintage host model.
+
+The chip's claim to fame is that its 250 ns/character appetite exceeds
+"the memory bandwidth of most conventional computers".  The
+:class:`HostSpec` captures the host parameters that claim is judged
+against: memory cycle time, word width, and the per-character instruction
+cost of doing the same work in software.  :class:`HostBus` meters stream
+transfers against the memory bandwidth and accumulates transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..errors import HostError
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A conventional-computer model (defaults: a late-70s minicomputer).
+
+    ``memory_cycle_ns``: time per memory word access (~600 ns for a
+    PDP-11/45-class machine; fast 1979 mainframes reached ~100 ns).
+    ``bytes_per_word``: memory word width.
+    ``cpu_ops_per_char_match``: instructions a software matcher spends per
+    text character per pattern position (inner-loop cost).
+    ``cpu_op_ns``: average instruction time.
+    """
+
+    name: str = "minicomputer-1979"
+    memory_cycle_ns: float = 600.0
+    bytes_per_word: int = 2
+    cpu_ops_per_char_match: float = 4.0
+    cpu_op_ns: float = 900.0
+
+    def memory_bandwidth_chars_per_s(self) -> float:
+        """Peak character (byte) bandwidth of the memory system."""
+        return self.bytes_per_word / (self.memory_cycle_ns * 1e-9)
+
+    def software_match_time_ns(self, n_text: int, pattern_len: int) -> float:
+        """Naive software wildcard matching time on this host."""
+        return n_text * pattern_len * self.cpu_ops_per_char_match * self.cpu_op_ns
+
+
+class HostBus:
+    """A beat-synchronous DMA channel between host memory and devices.
+
+    Transfers are limited by whichever is slower: the device's beat rate
+    or the host's memory bandwidth -- the comparison at the heart of the
+    paper's introduction.
+    """
+
+    def __init__(self, host: HostSpec):
+        self.host = host
+        self.busy_ns: float = 0.0
+        self.chars_moved: int = 0
+
+    def transfer(self, n_chars: int, device_beat_ns: float) -> float:
+        """Move *n_chars* stream characters; returns elapsed ns.
+
+        Each character needs one device beat and 1/bytes_per_word of a
+        memory cycle; the slower side paces the stream.
+        """
+        if n_chars < 0:
+            raise HostError("cannot transfer a negative number of characters")
+        per_char_mem = self.host.memory_cycle_ns / self.host.bytes_per_word
+        per_char = max(device_beat_ns, per_char_mem)
+        elapsed = n_chars * per_char
+        self.busy_ns += elapsed
+        self.chars_moved += n_chars
+        return elapsed
+
+    def is_device_starved(self, device_beat_ns: float) -> bool:
+        """True when the device could consume faster than memory supplies.
+
+        For the prototype (250 ns/char) against a 600 ns/2-byte-word
+        memory this is True -- the paper's "higher than the memory
+        bandwidth of most conventional computers".
+        """
+        per_char_mem = self.host.memory_cycle_ns / self.host.bytes_per_word
+        return device_beat_ns < per_char_mem

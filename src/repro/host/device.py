@@ -1,0 +1,29 @@
+"""The attached-device protocol of Figure 1-1."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class AttachedDevice:
+    """Base class for special-purpose chips hanging off the host bus.
+
+    A device declares its beat time (how fast it consumes/produces stream
+    items) and implements :meth:`process`, the streaming computation.
+    ``beats_for(n)`` reports total beats including pipeline fill/drain so
+    the host can account elapsed time.
+    """
+
+    name: str = "device"
+    beat_ns: float = 250.0
+
+    def process(self, stream: Sequence[object]) -> List[object]:
+        """Consume an input stream, produce the output stream."""
+        raise NotImplementedError
+
+    def beats_for(self, n_items: int) -> int:
+        """Beats to process *n_items* (default: streaming rate 1/beat)."""
+        return n_items
+
+    def elapsed_ns(self, n_items: int) -> float:
+        return self.beats_for(n_items) * self.beat_ns

@@ -1,0 +1,8 @@
+"""The three devices Figure 1-1 attaches to the host: pattern matcher,
+sorter, and FFT device."""
+
+from .fft import FFTDevice
+from .matcher_device import PatternMatcherDevice
+from .sorter import SystolicSorterDevice
+
+__all__ = ["FFTDevice", "PatternMatcherDevice", "SystolicSorterDevice"]

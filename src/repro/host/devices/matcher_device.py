@@ -1,0 +1,39 @@
+"""The pattern matcher as a Figure 1-1 peripheral."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...alphabet import Alphabet
+from ...chip.chip import ChipSpec, PatternMatchingChip
+from ...errors import HostError
+from ..device import AttachedDevice
+
+
+class PatternMatcherDevice(AttachedDevice):
+    """Wraps a :class:`~repro.chip.chip.PatternMatchingChip` for the bus.
+
+    The host writes the pattern once, then streams text; the device
+    returns the result bit stream.  Beat accounting matches the chip:
+    pattern and text alternate on the bus, so n text characters cost
+    about 2n beats plus fill/drain.
+    """
+
+    name = "pattern-matcher"
+
+    def __init__(self, spec: ChipSpec, alphabet: Alphabet):
+        self.chip = PatternMatchingChip(spec, alphabet)
+        self.beat_ns = spec.beat_ns
+        self._loaded = False
+
+    def load_pattern(self, pattern) -> None:
+        self.chip.load_pattern(pattern)
+        self._loaded = True
+
+    def process(self, stream: Sequence[str]) -> List[bool]:
+        if not self._loaded:
+            raise HostError("load a pattern before streaming text")
+        return self.chip.match(stream)
+
+    def beats_for(self, n_items: int) -> int:
+        return self.chip.array.beats_needed(n_items)

@@ -1,0 +1,88 @@
+"""A systolic sorter device (the "sorter" box of Figure 1-1).
+
+Implemented as the classic linear-array priority queue (Leiserson-style):
+``n`` cells each holding one key.  During the *insert* phase one new key
+enters cell 0 per beat; every cell keeps the smaller of (held, incoming)
+and passes the larger right -- a beat-synchronous bubble of displaced
+keys.  During the *extract* phase the minimum leaves cell 0 each beat and
+the remaining keys shift left.  Sorting N keys therefore streams in N
+beats in and N beats out, with all comparisons done in the array --
+another instance of the paper's thesis that a regular cell array turns an
+O(N log N) software task into an O(N)-beat streaming task.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...errors import HostError
+from ..device import AttachedDevice
+
+
+class _SorterCell:
+    """One priority-queue cell: holds at most one key."""
+
+    __slots__ = ("held",)
+
+    def __init__(self) -> None:
+        self.held: Optional[float] = None
+
+    def insert(self, incoming: Optional[float]) -> Optional[float]:
+        """Keep the smaller key, pass the larger to the right neighbour."""
+        if incoming is None:
+            return None
+        if self.held is None:
+            self.held = incoming
+            return None
+        if incoming < self.held:
+            self.held, incoming = incoming, self.held
+        return incoming
+
+
+class SystolicSorterDevice(AttachedDevice):
+    """Sorts a stream of keys via the systolic priority queue."""
+
+    name = "sorter"
+
+    def __init__(self, n_cells: int = 64, beat_ns: float = 250.0):
+        if n_cells <= 0:
+            raise HostError("sorter needs at least one cell")
+        self.n_cells = n_cells
+        self.beat_ns = beat_ns
+        self.beats_run = 0
+
+    def process(self, stream: Sequence[float]) -> List[float]:
+        """Return the keys in ascending order.
+
+        Raises if the stream exceeds the array capacity (a real device
+        would sort runs and merge on the host).
+        """
+        keys = [float(v) for v in stream]
+        if len(keys) > self.n_cells:
+            raise HostError(
+                f"{len(keys)} keys exceed sorter capacity {self.n_cells}; "
+                f"sort in runs and merge"
+            )
+        cells = [_SorterCell() for _ in range(self.n_cells)]
+        # Insert phase: one key per beat; displaced keys ripple right, one
+        # cell per beat (modelled by sweeping the insert down the array).
+        for key in keys:
+            moving: Optional[float] = key
+            for cell in cells:
+                moving = cell.insert(moving)
+                if moving is None:
+                    break
+            self.beats_run += 1
+        # Extract phase: minimum leaves cell 0 each beat; others shift left.
+        out: List[float] = []
+        for _ in range(len(keys)):
+            out.append(cells[0].held)
+            for i in range(self.n_cells - 1):
+                cells[i].held = cells[i + 1].held
+            cells[-1].held = None
+            self.beats_run += 1
+        return out
+
+    def beats_for(self, n_items: int) -> int:
+        """N beats in plus N beats out."""
+        return 2 * n_items

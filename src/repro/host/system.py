@@ -1,0 +1,78 @@
+"""The assembled Figure 1-1 system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import HostError
+from .bus import HostBus, HostSpec
+from .device import AttachedDevice
+
+
+@dataclass
+class JobRecord:
+    """Accounting for one offloaded job."""
+
+    device: str
+    n_items: int
+    transfer_ns: float
+    device_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        # Streaming devices overlap transfer with computation; the job
+        # takes whichever is longer plus nothing extra.
+        return max(self.transfer_ns, self.device_ns)
+
+
+class HostSystem:
+    """A general-purpose computer with special-purpose chips attached.
+
+    >>> sys = HostSystem(HostSpec())
+    >>> sys.attach(SystolicSorterDevice())            # doctest: +SKIP
+    >>> sys.run("sorter", [3, 1, 2])                  # doctest: +SKIP
+    [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, host: HostSpec = None):
+        self.host = host or HostSpec()
+        self.bus = HostBus(self.host)
+        self.devices: Dict[str, AttachedDevice] = {}
+        self.jobs: List[JobRecord] = []
+
+    def attach(self, device: AttachedDevice) -> None:
+        if device.name in self.devices:
+            raise HostError(f"device slot {device.name!r} already occupied")
+        self.devices[device.name] = device
+
+    def detach(self, name: str) -> None:
+        if name not in self.devices:
+            raise HostError(f"no device named {name!r}")
+        del self.devices[name]
+
+    def run(self, device_name: str, stream: Sequence[object]) -> List[object]:
+        """Offload a stream to a device, with bus/time accounting."""
+        try:
+            device = self.devices[device_name]
+        except KeyError:
+            raise HostError(
+                f"no device named {device_name!r}; attached: "
+                f"{sorted(self.devices)}"
+            ) from None
+        result = device.process(stream)
+        transfer = self.bus.transfer(
+            len(stream) + len(result), device.beat_ns
+        )
+        self.jobs.append(
+            JobRecord(
+                device=device_name,
+                n_items=len(stream),
+                transfer_ns=transfer,
+                device_ns=device.elapsed_ns(len(stream)),
+            )
+        )
+        return result
+
+    def total_device_time_ns(self) -> float:
+        return sum(j.total_ns for j in self.jobs)

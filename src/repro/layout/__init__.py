@@ -1,0 +1,35 @@
+"""Stick-diagram / mask-layout / CIF substrate (Section 3.2.2, Plates 1-2).
+
+The paper's final design artifacts are NMOS stick diagrams (Plate 1), a
+lambda-rule mask layout, and a Caltech Intermediate Form description that
+"can be interpreted to make the masks".  This subpackage reproduces that
+tail of the design flow:
+
+* :mod:`repro.layout.layers` -- the silicon-gate NMOS conduction layers
+  with the paper's colour convention;
+* :mod:`repro.layout.geometry` -- points and rectangles in lambda units;
+* :mod:`repro.layout.sticks` -- topological stick diagrams;
+* :mod:`repro.layout.cells` -- stick diagrams and generated layouts for
+  the comparator and accumulator twins;
+* :mod:`repro.layout.design_rules` -- the lambda-based design rule checker;
+* :mod:`repro.layout.cif` -- CIF 2.0 writer and parser;
+* :mod:`repro.layout.assembly` -- array assembly with power routing and
+  pads (the Plate 2 chip floorplan).
+"""
+
+from .cif import CIFWriter, parse_cif
+from .design_rules import DesignRuleChecker, LAMBDA_RULES
+from .geometry import Point, Rect
+from .layers import Layer
+from .sticks import StickDiagram
+
+__all__ = [
+    "CIFWriter",
+    "DesignRuleChecker",
+    "LAMBDA_RULES",
+    "Layer",
+    "Point",
+    "Rect",
+    "StickDiagram",
+    "parse_cif",
+]

@@ -1,0 +1,193 @@
+"""Chip assembly: the Plate 2 floorplan.
+
+"When the layouts for all cells are complete, they are assembled into a
+working array with the inputs and outputs hooked to contact pads."  The
+assembler places the comparator rows over the accumulator row in the
+Figure 3-3/3-4 arrangement with polarity alternating by column parity,
+rings the array with bonding pads, and emits the whole chip as CIF --
+one symbol per cell type, instantiated by translation, which is exactly
+the replication economy the paper's design philosophy predicts ("most of
+the cells on a chip are copies of a few basic ones").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import LayoutError
+from .cells import CellLayout, accumulator_layout, comparator_layout
+from .cif import CIFWriter
+from .geometry import Rect
+from .layers import Layer
+
+#: Bonding pad dimensions (lambda); Mead & Conway suggest ~100 um pads,
+#: i.e. 40 lambda at lambda = 2.5 um.
+PAD_SIZE = 40
+PAD_PITCH = 60
+
+
+@dataclass
+class ChipFloorplan:
+    """Placement result: cell instances, pads, and area accounting."""
+
+    name: str
+    columns: int
+    bit_rows: int
+    cell_instances: List[Tuple[str, int, int]] = field(default_factory=list)
+    pads: List[Tuple[str, Rect]] = field(default_factory=list)
+    core_width: int = 0
+    core_height: int = 0
+    die_width: int = 0
+    die_height: int = 0
+
+    @property
+    def core_area(self) -> int:
+        return self.core_width * self.core_height
+
+    @property
+    def die_area(self) -> int:
+        return self.die_width * self.die_height
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cell_instances)
+
+    @property
+    def n_pads(self) -> int:
+        return len(self.pads)
+
+
+class ChipAssembler:
+    """Builds the floorplan and CIF for an m-column, w-row matcher chip."""
+
+    def __init__(self, columns: int, bit_rows: int, name: str = "pattern_matcher"):
+        if columns <= 0 or bit_rows <= 0:
+            raise LayoutError("chip needs at least one column and one bit row")
+        self.columns = columns
+        self.bit_rows = bit_rows
+        self.name = name
+        self._cells: Dict[str, CellLayout] = {}
+        for positive in (True, False):
+            suffix = "pos" if positive else "neg"
+            self._cells[f"comparator_{suffix}"] = comparator_layout(positive)[1]
+            self._cells[f"accumulator_{suffix}"] = accumulator_layout(positive)[1]
+
+    def cell(self, kind: str, positive: bool) -> CellLayout:
+        return self._cells[f"{kind}_{'pos' if positive else 'neg'}"]
+
+    # -- pin inventory (Figure 3-7 extensibility) -----------------------------
+
+    def pin_names(self) -> List[str]:
+        """Every pad the extensible chip needs.
+
+        Per Section 3.4: pattern/string bit inputs AND outputs, the
+        result stream in and out, the control bits, clocks and power.
+        """
+        pins = ["VDD", "GND", "PHI1", "PHI2", "LAM_IN", "X_IN",
+                "LAM_OUT", "X_OUT", "R_IN", "R_OUT"]
+        for j in range(self.bit_rows):
+            pins += [f"P_IN{j}", f"P_OUT{j}", f"S_IN{j}", f"S_OUT{j}"]
+        return pins
+
+    # -- floorplan ------------------------------------------------------------------
+
+    def floorplan(self) -> ChipFloorplan:
+        # The twins of a cell type may differ slightly in net count (a NOR
+        # has no internal pulldown node where a NAND does); the floorplan
+        # uses each type's bounding size so twins abut interchangeably --
+        # the "exterior details such as size ... must be known" boundary
+        # of Section 4.
+        cmp_h = max(self.cell("comparator", p).height for p in (True, False))
+        acc_h = max(self.cell("accumulator", p).height for p in (True, False))
+        col_w = max(
+            self.cell(kind, p).width
+            for kind in ("comparator", "accumulator")
+            for p in (True, False)
+        )
+        fp = ChipFloorplan(self.name, self.columns, self.bit_rows)
+        y = 0
+        # Accumulator row at the bottom, comparator rows above (Figure 3-3
+        # draws comparators on top).
+        for i in range(self.columns):
+            positive = (i + self.bit_rows) % 2 == 0
+            fp.cell_instances.append(
+                (f"accumulator_{'pos' if positive else 'neg'}", i * col_w, y)
+            )
+        y += acc_h
+        for j in range(self.bit_rows - 1, -1, -1):
+            for i in range(self.columns):
+                positive = (i + j) % 2 == 0
+                fp.cell_instances.append(
+                    (f"comparator_{'pos' if positive else 'neg'}", i * col_w, y)
+                )
+            y += cmp_h
+        fp.core_width = self.columns * col_w
+        fp.core_height = y
+        self._place_pads(fp)
+        return fp
+
+    def _place_pads(self, fp: ChipFloorplan) -> None:
+        pins = self.pin_names()
+        margin = PAD_SIZE + 20
+        fp.die_width = fp.core_width + 2 * margin
+        fp.die_height = fp.core_height + 2 * margin
+        # Ring the die, greedily: bottom, right, top, left.
+        per_side = -(-len(pins) // 4)
+        fp.die_width = max(fp.die_width, per_side * PAD_PITCH + 2 * margin)
+        fp.die_height = max(fp.die_height, per_side * PAD_PITCH + 2 * margin)
+        sides = []
+        for k in range(per_side):
+            sides.append((margin + k * PAD_PITCH, 0))                       # bottom
+        for k in range(per_side):
+            sides.append((fp.die_width - PAD_SIZE, margin + k * PAD_PITCH))  # right
+        for k in range(per_side):
+            sides.append((margin + k * PAD_PITCH, fp.die_height - PAD_SIZE))  # top
+        for k in range(per_side):
+            sides.append((0, margin + k * PAD_PITCH))                        # left
+        for pin, (x, y) in zip(pins, sides):
+            fp.pads.append((pin, Rect(x, y, x + PAD_SIZE, y + PAD_SIZE)))
+
+    # -- CIF emission ---------------------------------------------------------------
+
+    def to_cif(self) -> str:
+        """The whole chip as CIF text (one symbol per cell type + pads)."""
+        fp = self.floorplan()
+        writer = CIFWriter()
+        cell_symbols: Dict[str, object] = {}
+        for cname, layout in self._cells.items():
+            sym = writer.new_symbol(cname)
+            for layer, rects in layout.rects.items():
+                for r in rects:
+                    sym.add_box(layer, r)
+            cell_symbols[cname] = sym
+        pad_sym = writer.new_symbol("pad")
+        pad_sym.add_box(Layer.METAL, Rect(0, 0, PAD_SIZE, PAD_SIZE))
+        pad_sym.add_box(
+            Layer.OVERGLASS, Rect(4, 4, PAD_SIZE - 4, PAD_SIZE - 4)
+        )
+        chip = writer.new_symbol(self.name)
+        margin_x = (fp.die_width - fp.core_width) // 2
+        margin_y = (fp.die_height - fp.core_height) // 2
+        for cname, x, y in fp.cell_instances:
+            chip.call(cell_symbols[cname].symbol_id, x + margin_x, y + margin_y)
+        for _pin, rect in fp.pads:
+            chip.call(pad_sym.symbol_id, rect.x0, rect.y0)
+        writer.place(chip, 0, 0)
+        return writer.render()
+
+    def area_report(self) -> Dict[str, float]:
+        """Area accounting for the Plate 2 bench (lambda^2 and mm^2 at
+        lambda = 2.5 um)."""
+        fp = self.floorplan()
+        lam_mm = 2.5e-3
+        return {
+            "columns": self.columns,
+            "bit_rows": self.bit_rows,
+            "cells": fp.n_cells,
+            "core_area_lambda2": fp.core_area,
+            "die_area_lambda2": fp.die_area,
+            "core_area_mm2": fp.core_area * lam_mm ** 2,
+            "die_area_mm2": fp.die_area * lam_mm ** 2,
+            "pads": fp.n_pads,
+        }

@@ -1,0 +1,260 @@
+"""Stick diagrams and mask layouts generated from cell netlists.
+
+The paper's Plate 1 is a hand-packed stick diagram of the positive
+comparator.  Here the stick diagram is *generated* from the very netlist
+that the switch-level simulator executes
+(:func:`repro.circuit.cells.build_comparator` /
+:func:`~repro.circuit.cells.build_accumulator`), in a standard-cell
+style: devices in a row at the bottom, one horizontal polysilicon track
+per net above them, vertical metal risers connecting device terminals to
+tracks, and metal power rails at top and bottom.  This is less dense than
+the Plate 1 artwork but has a property the photograph cannot offer: the
+stick diagram's *electrical interpretation* (see
+:meth:`repro.layout.sticks.StickDiagram.connectivity`) provably matches
+the simulated circuit, which the test suite checks -- the "cell sticks
+from cell circuits" step of Figure 4-1 made mechanical, exactly as the
+paper predicts ("In principle the layout can be designed mechanically
+from the circuit and stick diagrams").
+
+The layout expansion then turns sticks into lambda-rule rectangles
+(:class:`CellLayout`) that pass the design-rule checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.netlist import GND, VDD, Circuit
+from ..errors import LayoutError
+from .design_rules import DesignRuleChecker
+from .geometry import Point, Rect, bounding_box
+from .layers import Layer
+from .sticks import StickDiagram
+
+# Geometry constants (lambda).  Chosen so the mechanical expansion is
+# design-rule clean by construction; see tests/test_layout_cells.py.
+DEVICE_Y = 6          # gate row
+DEV_SRC_Y = 2         # source stub row
+DEV_DRN_Y = 10        # drain stub row
+TRACK_Y0 = 16         # first net track
+TRACK_PITCH = 6
+COLUMN_PITCH = 24
+GATE_RISER_DX = -6    # gate contact, relative to device diffusion
+SRC_RISER_DX = 6
+DRN_RISER_DX = 12
+
+
+@dataclass
+class CellLayout:
+    """Mask layout of one cell: rectangles per layer plus port points."""
+
+    name: str
+    rects: Dict[Layer, List[Rect]] = field(default_factory=dict)
+    ports: Dict[str, Tuple[Point, Layer]] = field(default_factory=dict)
+    width: int = 0
+    height: int = 0
+
+    def add(self, layer: Layer, rect: Rect) -> None:
+        self.rects.setdefault(layer, []).append(rect)
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def bbox(self) -> Optional[Rect]:
+        return bounding_box(r for rl in self.rects.values() for r in rl)
+
+
+def generate_cell_sticks(
+    circuit: Circuit,
+    ports: Dict[str, str],
+    name: str,
+) -> StickDiagram:
+    """Generate a stick diagram for *circuit*.
+
+    *ports* maps external signal names to circuit node names; those nets
+    get boundary ports on their tracks (plus VDD/GND on the rails).
+    """
+    devices = list(circuit.transistors)
+    loads = list(circuit.loads)
+    n_cols = len(devices) + len(loads)
+    if n_cols == 0:
+        raise LayoutError("cannot lay out an empty circuit")
+
+    # Net assignment: every node that is a terminal somewhere.
+    net_names: List[str] = []
+
+    def note(n: str) -> None:
+        if n not in (VDD, GND) and n not in net_names:
+            net_names.append(n)
+
+    for t in devices:
+        note(t.gate), note(t.a), note(t.b)
+    for d in loads:
+        note(d.node)
+    for n in ports.values():
+        note(n)
+
+    track_of = {n: TRACK_Y0 + TRACK_PITCH * i for i, n in enumerate(net_names)}
+    top_track = TRACK_Y0 + TRACK_PITCH * max(0, len(net_names) - 1)
+    y_vdd = top_track + TRACK_PITCH + 2
+    width = COLUMN_PITCH * n_cols + 8
+    height = y_vdd + 2
+    sd = StickDiagram(name, width, height)
+
+    # Power rails in metal, spanning the cell for abutment.
+    sd.stick(Layer.METAL, 0, 0, width, 0)            # GND
+    sd.stick(Layer.METAL, 0, y_vdd, width, y_vdd)    # VDD
+    sd.port("GND", 0, 0, Layer.METAL)
+    sd.port("VDD", 0, y_vdd, Layer.METAL)
+
+    def riser_to(x: int, y_from: int, net: str) -> None:
+        """Vertical metal from (x, y_from) to the net's destination."""
+        if net == GND:
+            sd.stick(Layer.METAL, x, 0, x, y_from)
+        elif net == VDD:
+            sd.stick(Layer.METAL, x, y_from, x, y_vdd)
+        else:
+            y = track_of[net]
+            sd.stick(Layer.METAL, x, min(y_from, y), x, max(y_from, y))
+            sd.contact(x, y, Layer.POLY, Layer.METAL)
+
+    col = 0
+    track_used: Dict[str, List[int]] = {n: [] for n in net_names}
+
+    def place_device(gate: Optional[str], a: str, b: str, depletion: bool) -> None:
+        nonlocal col
+        x_dev = COLUMN_PITCH * col + 12
+        col += 1
+        # Channel: vertical diffusion crossed by the horizontal gate poly.
+        sd.stick(Layer.DIFFUSION, x_dev, DEV_SRC_Y, x_dev, DEV_DRN_Y)
+        sd.stick(Layer.POLY, x_dev + GATE_RISER_DX, DEVICE_Y, x_dev + 2, DEVICE_Y)
+        if depletion:
+            sd.implant(x_dev, DEVICE_Y)
+        # Gate connection.
+        if gate is not None:
+            xg = x_dev + GATE_RISER_DX
+            sd.contact(xg, DEVICE_Y, Layer.POLY, Layer.METAL)
+            riser_to(xg, DEVICE_Y, gate)
+            if gate not in (VDD, GND):
+                track_used[gate].append(xg)
+        # Source and drain stubs with metal risers.
+        xs = x_dev + SRC_RISER_DX
+        sd.stick(Layer.DIFFUSION, x_dev, DEV_SRC_Y, xs, DEV_SRC_Y)
+        sd.contact(xs, DEV_SRC_Y, Layer.DIFFUSION, Layer.METAL)
+        riser_to(xs, DEV_SRC_Y, a)
+        if a not in (VDD, GND):
+            track_used[a].append(xs)
+        xd = x_dev + DRN_RISER_DX
+        sd.stick(Layer.DIFFUSION, x_dev, DEV_DRN_Y, xd, DEV_DRN_Y)
+        sd.contact(xd, DEV_DRN_Y, Layer.DIFFUSION, Layer.METAL)
+        riser_to(xd, DEV_DRN_Y, b)
+        if b not in (VDD, GND):
+            track_used[b].append(xd)
+
+    for t in devices:
+        place_device(t.gate, t.a, t.b, depletion=False)
+    for d in loads:
+        # Depletion pullup: gate tied to source, channel from VDD.
+        # Electrically the gate-source tie is the load's defining feature;
+        # we wire the gate to the output net like the source.
+        place_device(d.node, d.node, VDD, depletion=True)
+
+    # Net tracks in poly.  Port nets span the full cell width so abutting
+    # cells connect; internal nets span just their risers.
+    port_nets = set(ports.values())
+    for net, y in track_of.items():
+        xs = track_used[net]
+        if net in port_nets:
+            sd.stick(Layer.POLY, 0, y, width, y)
+        elif len(xs) >= 2:
+            sd.stick(Layer.POLY, min(xs), y, max(xs), y)
+        elif len(xs) == 1:
+            sd.stick(Layer.POLY, xs[0], y, xs[0] + 2, y)
+        else:
+            continue
+    for ext_name, node in ports.items():
+        if node == VDD or node == GND:
+            continue
+        y = track_of[node]
+        sd.port(ext_name, 0, y, Layer.POLY)
+        sd.port(ext_name + "_r", width, y, Layer.POLY)
+    return sd
+
+
+# -- stick -> mask expansion ---------------------------------------------------
+
+_WIDTHS = {Layer.DIFFUSION: 2, Layer.POLY: 2, Layer.METAL: 3}
+
+
+def expand_sticks(sd: StickDiagram) -> CellLayout:
+    """Mechanically expand a stick diagram into lambda-rule rectangles.
+
+    "In principle the layout can be designed mechanically from the
+    circuit and stick diagrams."  Each stick becomes a rectangle of its
+    layer's minimum width, extended one lambda past its endpoints;
+    contacts become 2x2 cuts; implants 4x4 patches over the gate.
+    """
+    layout = CellLayout(sd.name, width=sd.width, height=sd.height)
+    for s in sd.sticks:
+        w = _WIDTHS[s.layer]
+        lo, hi = (w // 2), (w - w // 2)  # 2 -> (1,1); 3 -> (1,2)
+        if s.is_horizontal:
+            x0, x1 = sorted((s.a.x, s.b.x))
+            layout.add(
+                s.layer, Rect(x0 - 1, s.a.y - lo, x1 + 1, s.a.y + hi)
+            )
+        else:
+            y0, y1 = sorted((s.a.y, s.b.y))
+            layout.add(
+                s.layer, Rect(s.a.x - lo, y0 - 1, s.a.x + hi, y1 + 1)
+            )
+    for c in sd.contacts:
+        layout.add(Layer.CONTACT, Rect(c.at.x - 1, c.at.y - 1, c.at.x + 1, c.at.y + 1))
+    for imp in sd.implants:
+        layout.add(
+            Layer.IMPLANT, Rect(imp.at.x - 2, imp.at.y - 2, imp.at.x + 2, imp.at.y + 2)
+        )
+    for name, port in sd.ports.items():
+        layout.ports[name] = (port.at, port.layer)
+    return layout
+
+
+def comparator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
+    """Sticks + layout for a comparator twin, from its real netlist."""
+    from ..circuit.cells.comparator import build_comparator
+
+    c = Circuit("cmp")
+    ports = build_comparator(c, "u.", "clk", positive=positive)
+    external = {
+        "p_in": ports["p_in"], "s_in": ports["s_in"], "d_in": ports["d_in"],
+        "p_out": ports["p_out"], "s_out": ports["s_out"], "d_out": ports["d_out"],
+        "clk": "clk",
+    }
+    name = f"comparator_{'pos' if positive else 'neg'}"
+    sd = generate_cell_sticks(c, external, name)
+    return sd, expand_sticks(sd)
+
+
+def accumulator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
+    """Sticks + layout for an accumulator twin, from its real netlist."""
+    from ..circuit.cells.accumulator import build_accumulator
+
+    c = Circuit("acc")
+    ports = build_accumulator(c, "a.", "clkA", "clkB", positive=positive)
+    external = {
+        "lam_in": ports["lam_in"], "x_in": ports["x_in"],
+        "d_in": ports["d_in"], "r_in": ports["r_in"],
+        "lam_out": ports["lam_out"], "x_out": ports["x_out"],
+        "r_out": ports["r_out"],
+        "clkA": "clkA", "clkB": "clkB",
+    }
+    name = f"accumulator_{'pos' if positive else 'neg'}"
+    sd = generate_cell_sticks(c, external, name)
+    return sd, expand_sticks(sd)
+
+
+def check_cell(layout: CellLayout) -> List:
+    """Run the DRC on a cell layout; returns the violation list."""
+    return DesignRuleChecker().check(layout.rects)

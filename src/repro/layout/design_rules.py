@@ -1,0 +1,154 @@
+"""Lambda-based design rule checking.
+
+"Designing a layout involves choosing electrical parameters for all
+transistors, as well as following minimum spacing rules for the intended
+fabrication process."  The rules here are the classic Mead & Conway NMOS
+lambda rules (the set the prototype was fabricated under at XEROX PARC):
+
+==============================  ======
+rule                            lambda
+==============================  ======
+diffusion width                 2
+diffusion spacing               3
+poly width                      2
+poly spacing                    2
+metal width                     3
+metal spacing                   3
+contact size                    2 x 2
+implant overlap of gate         1.5 -> 2 (integer-conservative)
+poly gate extension past diff   2
+==============================  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import DesignRuleViolation
+from .geometry import Rect, merge_connected
+from .layers import Layer
+
+
+#: Minimum feature width per layer, in lambda.
+LAMBDA_RULES: Dict[str, int] = {
+    "diffusion-width": 2,
+    "diffusion-spacing": 3,
+    "poly-width": 2,
+    "poly-spacing": 2,
+    "metal-width": 3,
+    "metal-spacing": 3,
+    "contact-size": 2,
+    "implant-gate-overlap": 2,
+}
+
+_WIDTH_RULES = {
+    Layer.DIFFUSION: "diffusion-width",
+    Layer.POLY: "poly-width",
+    Layer.METAL: "metal-width",
+}
+_SPACING_RULES = {
+    Layer.DIFFUSION: "diffusion-spacing",
+    Layer.POLY: "poly-spacing",
+    Layer.METAL: "metal-spacing",
+}
+
+
+@dataclass
+class Violation:
+    """One recorded rule violation."""
+
+    rule: str
+    detail: str
+
+    def raise_(self) -> None:
+        raise DesignRuleViolation(self.rule, self.detail)
+
+
+@dataclass
+class DesignRuleChecker:
+    """Checks a layout given as per-layer rectangle lists.
+
+    ``check`` returns the violation list (empty = clean); ``enforce``
+    raises on the first violation, for use in generators that must never
+    emit an illegal layout.
+    """
+
+    rules: Dict[str, int] = field(default_factory=lambda: dict(LAMBDA_RULES))
+
+    def check(self, rects_by_layer: Dict[Layer, Sequence[Rect]]) -> List[Violation]:
+        violations: List[Violation] = []
+        violations.extend(self._check_widths(rects_by_layer))
+        violations.extend(self._check_spacing(rects_by_layer))
+        violations.extend(self._check_contacts(rects_by_layer))
+        return violations
+
+    def enforce(self, rects_by_layer: Dict[Layer, Sequence[Rect]]) -> None:
+        for v in self.check(rects_by_layer):
+            v.raise_()
+
+    # -- individual rule families ------------------------------------------
+
+    def _check_widths(self, rbl) -> List[Violation]:
+        out = []
+        for layer, rule in _WIDTH_RULES.items():
+            min_w = self.rules[rule]
+            for r in rbl.get(layer, []):
+                if r.min_dimension < min_w:
+                    out.append(
+                        Violation(
+                            rule,
+                            f"{layer.value} rect {r} narrower than {min_w} lambda",
+                        )
+                    )
+        return out
+
+    def _check_spacing(self, rbl) -> List[Violation]:
+        """Spacing between electrically distinct same-layer clusters.
+
+        Touching/overlapping rectangles are one conductor and exempt;
+        distinct clusters must keep the layer's minimum gap.
+        """
+        out = []
+        for layer, rule in _SPACING_RULES.items():
+            min_s = self.rules[rule]
+            rects = list(rbl.get(layer, []))
+            clusters = merge_connected(rects)
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    gap = min(
+                        a.separation(b) for a in clusters[i] for b in clusters[j]
+                    )
+                    if gap < min_s:
+                        out.append(
+                            Violation(
+                                rule,
+                                f"{layer.value} clusters {gap} lambda apart "
+                                f"(need {min_s})",
+                            )
+                        )
+        return out
+
+    def _check_contacts(self, rbl) -> List[Violation]:
+        """Contacts must be exactly contact-size and covered by a conductor."""
+        out = []
+        size = self.rules["contact-size"]
+        conductors = [
+            r
+            for layer in (Layer.DIFFUSION, Layer.POLY, Layer.METAL)
+            for r in rbl.get(layer, [])
+        ]
+        for c in rbl.get(Layer.CONTACT, []):
+            if c.width != size or c.height != size:
+                out.append(
+                    Violation("contact-size", f"contact {c} is not {size}x{size}")
+                )
+            covering = sum(1 for r in conductors if r.contains(c))
+            if covering < 2:
+                out.append(
+                    Violation(
+                        "contact-coverage",
+                        f"contact {c} must be covered by two conduction layers",
+                    )
+                )
+        return out

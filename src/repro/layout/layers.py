@@ -1,0 +1,68 @@
+"""The silicon-gate NMOS layers and their conventions.
+
+Section 3.2.2: "Silicon-gate NMOS technology uses three conduction
+layers ... blue lines represent metal conduction paths, red lines
+represent polycrystalline silicon (polysilicon) and green lines represent
+diffusion into the substrate.  The three layers are insulated from each
+other except at contact cuts, which are represented by round black dots.
+The yellow squares are areas of ion implantation, used to create
+depletion mode transistors."
+
+CIF layer names follow the Mead & Conway NMOS set.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Layer(Enum):
+    """An NMOS mask layer."""
+
+    DIFFUSION = "diffusion"   # green
+    POLY = "poly"             # red
+    METAL = "metal"           # blue
+    IMPLANT = "implant"       # yellow
+    CONTACT = "contact"       # black
+    OVERGLASS = "overglass"   # pad openings
+
+    @property
+    def color(self) -> str:
+        """The stick-diagram colour convention of the paper."""
+        return {
+            Layer.DIFFUSION: "green",
+            Layer.POLY: "red",
+            Layer.METAL: "blue",
+            Layer.IMPLANT: "yellow",
+            Layer.CONTACT: "black",
+            Layer.OVERGLASS: "grey",
+        }[self]
+
+    @property
+    def cif_name(self) -> str:
+        """Mead & Conway CIF layer name."""
+        return {
+            Layer.DIFFUSION: "ND",
+            Layer.POLY: "NP",
+            Layer.METAL: "NM",
+            Layer.IMPLANT: "NI",
+            Layer.CONTACT: "NC",
+            Layer.OVERGLASS: "NG",
+        }[self]
+
+    @classmethod
+    def from_cif_name(cls, name: str) -> "Layer":
+        for layer in cls:
+            if layer.cif_name == name:
+                return layer
+        raise ValueError(f"unknown CIF layer {name!r}")
+
+    @property
+    def is_conductor(self) -> bool:
+        """Can this layer carry signals?"""
+        return self in (Layer.DIFFUSION, Layer.POLY, Layer.METAL)
+
+
+#: "Field-effect transistors are created in NMOS by crossing a diffusion
+#: path (green) with a polysilicon area (red)."
+TRANSISTOR_LAYERS = (Layer.DIFFUSION, Layer.POLY)

@@ -1,0 +1,142 @@
+"""A standard cell library (the Section 5 outlook, built).
+
+"It is possible, for example, to build libraries of standard cells,
+similar to subroutine libraries.  If a designer needs, say, an inner
+product step cell, he may be able to select it from a library rather
+than construct it himself."
+
+:class:`CellLibrary` is that registry: each entry bundles a systolic cell
+kernel factory (pluggable into :class:`~repro.core.array.SystolicMatcherArray`),
+an optional switch-level netlist builder, and an optional stick-diagram
+generator -- the three representations the Figure 4-1 flow moves between.
+:func:`standard_library` ships the cells this reproduction already
+verified, including the paper's own example, the inner product step cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .errors import ReproError
+
+
+@dataclass(frozen=True)
+class CellEntry:
+    """One library cell.
+
+    ``kernel_factory`` builds the behavioural kernel (callable with the
+    cell index, per the array engine's contract).  ``circuit_builder``,
+    when present, takes ``(circuit, prefix, clk, positive)`` and returns
+    the port map; ``stream_kind`` documents what the pattern/stream items
+    must carry ("characters" or "numbers").
+    """
+
+    name: str
+    description: str
+    kernel_factory: Callable[[int], object]
+    stream_kind: str = "characters"
+    circuit_builder: Optional[Callable] = None
+
+    def make_kernel(self, index: int = 0):
+        return self.kernel_factory(index)
+
+
+class CellLibrary:
+    """A name -> :class:`CellEntry` registry with lookup and listing."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, CellEntry] = {}
+
+    def register(self, entry: CellEntry) -> None:
+        if entry.name in self._cells:
+            raise ReproError(f"cell {entry.name!r} already registered")
+        self._cells[entry.name] = entry
+
+    def get(self, name: str) -> CellEntry:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise ReproError(
+                f"no cell named {name!r}; available: {sorted(self._cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def names(self) -> List[str]:
+        return sorted(self._cells)
+
+    def catalogue(self) -> str:
+        """Human-readable listing (the library's 'data sheet')."""
+        lines = []
+        for name in self.names():
+            e = self._cells[name]
+            extras = []
+            if e.circuit_builder is not None:
+                extras.append("netlist")
+            lines.append(
+                f"{name:<22} [{e.stream_kind:>10}] {e.description}"
+                + (f"  ({', '.join(extras)})" if extras else "")
+            )
+        return "\n".join(lines)
+
+
+def standard_library() -> CellLibrary:
+    """The cells this reproduction provides, ready for selection."""
+    from .circuit.cells.accumulator import build_accumulator
+    from .circuit.cells.comparator import build_comparator
+    from .core.cells import MatcherCellKernel
+    from .extensions.correlation import CorrelationCellKernel
+    from .extensions.counting import CountingCellKernel
+    from .extensions.linear_products import (
+        INNER_PRODUCT,
+        MIN_PLUS,
+        LinearProductCellKernel,
+    )
+
+    lib = CellLibrary()
+    lib.register(
+        CellEntry(
+            "matcher",
+            "comparator + accumulator character cell (Section 3.2.1)",
+            lambda i: MatcherCellKernel(),
+            circuit_builder=build_comparator,
+        )
+    )
+    lib.register(
+        CellEntry(
+            "match-counter",
+            "comparator + counting cell (Section 3.4)",
+            lambda i: CountingCellKernel(),
+        )
+    )
+    lib.register(
+        CellEntry(
+            "correlator",
+            "difference + adder cell for squared-distance correlation "
+            "(Section 3.4)",
+            lambda i: CorrelationCellKernel(),
+            stream_kind="numbers",
+        )
+    )
+    lib.register(
+        CellEntry(
+            "inner-product-step",
+            "the paper's library example: t <- t + p * s",
+            lambda i: LinearProductCellKernel(INNER_PRODUCT),
+            stream_kind="numbers",
+        )
+    )
+    lib.register(
+        CellEntry(
+            "min-plus-step",
+            "tropical linear product cell: t <- min(t, p + s)",
+            lambda i: LinearProductCellKernel(MIN_PLUS),
+            stream_kind="numbers",
+        )
+    )
+    return lib

@@ -1,0 +1,18 @@
+"""The Section 4 design methodology, executable.
+
+* :mod:`repro.methodology.graph` -- generic task dependency graphs with
+  topological ordering and critical paths;
+* :mod:`repro.methodology.tasks` -- the Figure 4-1 task set for the
+  pattern matching chip;
+* :mod:`repro.methodology.designflow` -- runs the graph: each task
+  actually produces its design artifact (cell circuits, stick diagrams,
+  DRC-checked layouts, chip CIF), so "the seemingly complicated process
+  of designing a special purpose chip can be carried out systematically,
+  one subtask at a time" is demonstrated rather than asserted.
+"""
+
+from .designflow import DesignFlow
+from .graph import TaskGraph
+from .tasks import FIGURE_4_1, TaskSpec
+
+__all__ = ["DesignFlow", "FIGURE_4_1", "TaskGraph", "TaskSpec"]

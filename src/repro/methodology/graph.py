@@ -1,0 +1,101 @@
+"""Task dependency graphs: ordering, validation, critical paths.
+
+"The way to avoid this is to carefully construct a task dependency graph
+before beginning the design.  This graph should contain all of the
+subtasks to be performed, together with the information needed for each
+and the precedence relations among them."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import MethodologyError
+
+
+class TaskGraph:
+    """A DAG of named tasks with per-task effort weights."""
+
+    def __init__(self) -> None:
+        self._deps: Dict[str, Set[str]] = {}
+        self._effort: Dict[str, float] = {}
+
+    def add_task(self, name: str, depends_on: Iterable[str] = (), effort: float = 1.0) -> None:
+        if name in self._deps:
+            raise MethodologyError(f"duplicate task {name!r}")
+        self._deps[name] = set(depends_on)
+        self._effort[name] = effort
+
+    @property
+    def tasks(self) -> List[str]:
+        return list(self._deps)
+
+    def dependencies(self, name: str) -> Set[str]:
+        try:
+            return set(self._deps[name])
+        except KeyError:
+            raise MethodologyError(f"unknown task {name!r}") from None
+
+    def validate(self) -> None:
+        """Every dependency must exist; the graph must be acyclic."""
+        for task, deps in self._deps.items():
+            missing = deps - set(self._deps)
+            if missing:
+                raise MethodologyError(
+                    f"task {task!r} depends on undefined tasks {sorted(missing)}"
+                )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[str]:
+        """A dependency-respecting order (stable w.r.t. insertion order)."""
+        in_deg = {t: len(d) for t, d in self._deps.items()}
+        dependents: Dict[str, List[str]] = {t: [] for t in self._deps}
+        for t, deps in self._deps.items():
+            for d in deps:
+                if d in dependents:
+                    dependents[d].append(t)
+        ready = [t for t in self._deps if in_deg[t] == 0]
+        order: List[str] = []
+        while ready:
+            t = ready.pop(0)
+            order.append(t)
+            for u in dependents[t]:
+                in_deg[u] -= 1
+                if in_deg[u] == 0:
+                    ready.append(u)
+        if len(order) != len(self._deps):
+            cyclic = sorted(set(self._deps) - set(order))
+            raise MethodologyError(f"dependency cycle among {cyclic}")
+        return order
+
+    def critical_path(self) -> Tuple[List[str], float]:
+        """Longest effort-weighted chain: the design's serial bottleneck."""
+        order = self.topological_order()
+        dist: Dict[str, float] = {}
+        prev: Dict[str, str] = {}
+        for t in order:
+            deps = self._deps[t]
+            best, best_d = None, 0.0
+            for d in deps:
+                if dist[d] > best_d:
+                    best, best_d = d, dist[d]
+            dist[t] = best_d + self._effort[t]
+            if best is not None:
+                prev[t] = best
+        end = max(dist, key=lambda t: dist[t])
+        path = [end]
+        while path[-1] in prev:
+            path.append(prev[path[-1]])
+        return list(reversed(path)), dist[end]
+
+    def parallel_schedule(self) -> List[List[str]]:
+        """Tasks grouped into waves that could proceed concurrently
+        (division of labour among designers)."""
+        level: Dict[str, int] = {}
+        for t in self.topological_order():
+            deps = self._deps[t]
+            level[t] = 1 + max((level[d] for d in deps), default=-1)
+        waves: Dict[int, List[str]] = {}
+        for t, l in level.items():
+            waves.setdefault(l, []).append(t)
+        return [waves[l] for l in sorted(waves)]

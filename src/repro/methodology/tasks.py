@@ -1,0 +1,107 @@
+"""The Figure 4-1 task set.
+
+The figure's subtasks, each "deal[ing] with only one geometric region,
+one circuit function, and one level of the VLSI abstraction hierarchy",
+with the information-flow arrows of the text:
+
+    Algorithm
+      -> Cell Combinations and Placements
+      -> Data Flow Control Circuit
+      -> Cell Logic Circuits          (needs cell functions, combinations,
+                                       and the data-flow control's stages)
+      -> Cell Timing Signals          (after all cell circuits)
+      -> Communication Sticks         (data-flow control + timing complete)
+      -> Cell Sticks                  (needs communication sticks + circuits)
+      -> Cell Layouts                 (from cell sticks)
+      -> Cell Boundary Layouts        (cell sizes + communication sticks)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One Figure 4-1 subtask."""
+
+    name: str
+    description: str
+    depends_on: Tuple[str, ...]
+    effort_weeks: float
+
+
+FIGURE_4_1 = (
+    TaskSpec(
+        "algorithm",
+        "Design the systolic algorithm: data flow pattern plus the "
+        "function of each cell type.",
+        (),
+        3.0,
+    ),
+    TaskSpec(
+        "cell_combinations",
+        "Decide cell groupings/sharings and assign locations (skeleton "
+        "layout).",
+        ("algorithm",),
+        0.5,
+    ),
+    TaskSpec(
+        "dataflow_control",
+        "Clocked vs self-timed; design shift registers and route clocks.",
+        ("algorithm", "cell_combinations"),
+        0.5,
+    ),
+    TaskSpec(
+        "cell_logic_circuits",
+        "Circuits for each cell type from its function, combination "
+        "grouping, and register stages.",
+        ("algorithm", "cell_combinations", "dataflow_control"),
+        1.0,
+    ),
+    TaskSpec(
+        "cell_timing_signals",
+        "Identify intra-beat sequencing signals (r_out <- t; t <- TRUE) "
+        "and add their generators to the data flow control.",
+        ("cell_logic_circuits", "dataflow_control"),
+        0.25,
+    ),
+    TaskSpec(
+        "communication_sticks",
+        "Stick diagram of the routing network, clock and power "
+        "distribution, with blanks for the cells.",
+        ("dataflow_control", "cell_timing_signals"),
+        0.5,
+    ),
+    TaskSpec(
+        "cell_sticks",
+        "Topological layout of each cell; port positions fixed by the "
+        "communication sticks.",
+        ("cell_logic_circuits", "communication_sticks"),
+        1.0,
+    ),
+    TaskSpec(
+        "cell_layouts",
+        "Dimensioned mask layout of each cell under the lambda rules.",
+        ("cell_sticks",),
+        1.0,
+    ),
+    TaskSpec(
+        "cell_boundary_layouts",
+        "Assemble cells, wire boundaries, hook pads: the complete chip.",
+        ("cell_layouts", "communication_sticks"),
+        0.5,
+    ),
+)
+
+
+def figure_4_1_graph() -> TaskGraph:
+    """The paper's task graph as a :class:`TaskGraph`."""
+    g = TaskGraph()
+    for spec in FIGURE_4_1:
+        g.add_task(spec.name, spec.depends_on, spec.effort_weeks)
+    g.validate()
+    return g

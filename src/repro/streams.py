@@ -1,0 +1,217 @@
+"""Beat streams and the host/chip bus protocol of Figure 3-1.
+
+The chip communicates with its host through synchronous *beats*: the
+pattern and the text string arrive alternately over the bus, one character
+per beat, and one result bit leaves the chip for every text character
+(Section 3.2.1, "During each pair of consecutive beats the chip must input
+two characters and output one result").
+
+This module models that protocol at the transaction level:
+
+* :class:`Beat` -- the unit of time.
+* :class:`BusWord` -- what travels over the host bus on one beat (a pattern
+  character, a text character, or an idle slot).
+* :func:`interleave` -- merge a recirculating pattern stream and a text
+  stream into the alternating bus schedule of Figure 3-1.
+* :class:`RecirculatingPattern` -- the pattern wrapped around so that the
+  first character follows two beats after the last one (Section 3.2.1),
+  carrying the ``lambda`` (end-of-pattern) and ``x`` (don't-care) bits.
+* :class:`ResultStream` -- collects the chip's output bits together with
+  their validity schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .alphabet import PatternChar
+from .errors import StreamError
+
+
+class WordKind(Enum):
+    """What a bus word carries."""
+
+    PATTERN = "pattern"
+    TEXT = "text"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class Beat:
+    """A point in discrete time.  Beats are numbered from zero."""
+
+    index: int
+
+    @property
+    def is_pattern_beat(self) -> bool:
+        """Pattern characters occupy even beats in the Figure 3-1 schedule."""
+        return self.index % 2 == 0
+
+    @property
+    def is_text_beat(self) -> bool:
+        return self.index % 2 == 1
+
+    def next(self) -> "Beat":
+        return Beat(self.index + 1)
+
+
+@dataclass(frozen=True)
+class BusWord:
+    """One bus transfer: kind plus payload.
+
+    For ``PATTERN`` words the payload is a :class:`PatternStreamItem`;
+    for ``TEXT`` words it is a single character; ``IDLE`` words carry
+    ``None``.
+    """
+
+    kind: WordKind
+    payload: object = None
+
+    @staticmethod
+    def idle() -> "BusWord":
+        return BusWord(WordKind.IDLE, None)
+
+
+@dataclass(frozen=True)
+class PatternStreamItem:
+    """A pattern character as it appears on the wire.
+
+    Carries the two control bits that flow with the pattern through the
+    accumulators (Section 3.2.1): ``is_last`` is the end-of-pattern bit
+    ``lambda``; ``is_wild`` is the don't-care bit ``x``.
+    """
+
+    char: str
+    is_wild: bool
+    is_last: bool
+
+    @staticmethod
+    def from_pattern_char(pc: PatternChar, is_last: bool) -> "PatternStreamItem":
+        return PatternStreamItem(pc.char, pc.is_wild, is_last)
+
+    def __str__(self) -> str:
+        base = "X*" if self.is_wild else self.char
+        return base + ("$" if self.is_last else "")
+
+
+class RecirculatingPattern:
+    """The pattern stream, recirculated indefinitely.
+
+    Section 3.2.1: "If we recirculate the pattern so that the first
+    character follows two beats after the last one, we can output the
+    completed result and initialize a new partial result on the same beat."
+    On the wire this means pattern items repeat with period ``len(pattern)``
+    (in pattern beats), back to back.
+
+    Iterating the object yields :class:`PatternStreamItem` objects forever;
+    use :meth:`take` for a finite prefix.
+    """
+
+    def __init__(self, pattern: Sequence[PatternChar]):
+        if not pattern:
+            raise StreamError("cannot recirculate an empty pattern")
+        self._items: List[PatternStreamItem] = [
+            PatternStreamItem.from_pattern_char(pc, is_last=(i == len(pattern) - 1))
+            for i, pc in enumerate(pattern)
+        ]
+
+    @property
+    def length(self) -> int:
+        """Pattern length k+1."""
+        return len(self._items)
+
+    @property
+    def items(self) -> List[PatternStreamItem]:
+        """One full period of the stream."""
+        return list(self._items)
+
+    def __iter__(self) -> Iterator[PatternStreamItem]:
+        return itertools.cycle(self._items)
+
+    def take(self, n: int) -> List[PatternStreamItem]:
+        """The first *n* items of the recirculating stream."""
+        if n < 0:
+            raise StreamError("cannot take a negative number of items")
+        return [self._items[i % len(self._items)] for i in range(n)]
+
+
+def interleave(
+    pattern: Iterable[PatternStreamItem],
+    text: Iterable[str],
+    n_beats: int,
+    pattern_first: bool = True,
+) -> List[BusWord]:
+    """Build the alternating bus schedule of Figure 3-1.
+
+    Pattern words occupy even beats and text words odd beats (or the
+    reverse if ``pattern_first`` is False).  When either stream is
+    exhausted its slots become idle words.  Returns exactly *n_beats*
+    bus words.
+    """
+    if n_beats < 0:
+        raise StreamError("n_beats must be non-negative")
+    pat_iter = iter(pattern)
+    txt_iter = iter(text)
+    words: List[BusWord] = []
+    for b in range(n_beats):
+        pattern_slot = (b % 2 == 0) if pattern_first else (b % 2 == 1)
+        if pattern_slot:
+            item = next(pat_iter, None)
+            words.append(
+                BusWord(WordKind.PATTERN, item) if item is not None else BusWord.idle()
+            )
+        else:
+            ch = next(txt_iter, None)
+            words.append(
+                BusWord(WordKind.TEXT, ch) if ch is not None else BusWord.idle()
+            )
+    return words
+
+
+@dataclass
+class ResultStream:
+    """Collects chip output bits with their validity schedule.
+
+    The chip produces one result bit per text character; during array
+    fill-up the output slots carry garbage, which the host discards.  The
+    driver records every output slot (for waveform-level inspection) and
+    separately the clean, host-visible list of booleans.
+    """
+
+    raw_slots: List[Optional[object]] = field(default_factory=list)
+    results: List[bool] = field(default_factory=list)
+
+    def record_raw(self, value: Optional[object]) -> None:
+        self.raw_slots.append(value)
+
+    def record_result(self, value: bool) -> None:
+        self.results.append(bool(value))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def alternating_schedule(n_pattern: int, n_text: int) -> List[WordKind]:
+    """The kinds of the first ``n_pattern + n_text`` bus words.
+
+    Convenience used by host-side DMA models: pattern/text alternate until
+    one side runs out, after which the other side streams back to back.
+    """
+    kinds: List[WordKind] = []
+    p = t = 0
+    toggle_pattern = True
+    while p < n_pattern or t < n_text:
+        if toggle_pattern and p < n_pattern:
+            kinds.append(WordKind.PATTERN)
+            p += 1
+        elif t < n_text:
+            kinds.append(WordKind.TEXT)
+            t += 1
+        else:
+            kinds.append(WordKind.PATTERN)
+            p += 1
+        toggle_pattern = not toggle_pattern
+    return kinds

@@ -1,0 +1,27 @@
+"""Generic beat-synchronous systolic-array simulation substrate.
+
+This subpackage implements the machinery that Section 3.2.1 of the paper
+assumes: linear arrays of simple cells through which data streams move at
+constant velocity on discrete *beats*, with alternate cells active on
+alternate beats (the "systole").  The pattern matcher, the Section 3.4
+extension machines, and the rejected unidirectional baseline are all built
+on top of it.
+"""
+
+from .cell import BUBBLE, CellKernel, PassThroughKernel, is_bubble
+from .engine import ChannelDirection, ChannelSpec, LinearArray, StepIO
+from .tracing import BeatTrace, TraceRecorder, render_flow
+
+__all__ = [
+    "BUBBLE",
+    "BeatTrace",
+    "CellKernel",
+    "ChannelDirection",
+    "ChannelSpec",
+    "LinearArray",
+    "PassThroughKernel",
+    "StepIO",
+    "TraceRecorder",
+    "is_bubble",
+    "render_flow",
+]

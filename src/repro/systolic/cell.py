@@ -1,0 +1,103 @@
+"""Cell kernels and the bubble convention.
+
+A *cell kernel* is the behavioural content of one systolic cell: given the
+values that just shifted into the cell's registers, it produces the values
+the cell presents to its neighbours on the next beat.  Kernels may keep
+internal state (the pattern matcher's accumulator keeps the temporary
+result ``t``); state must be re-initialisable via :meth:`CellKernel.reset`.
+
+Because the algorithm keeps alternate cells idle on alternate beats
+(Section 3.2.1, Figure 3-2), half of all register slots hold no valid data
+at any instant.  The simulator represents such slots with the :data:`BUBBLE`
+sentinel.  Real NMOS registers of course hold *some* voltage in those
+stages; the sentinel is the behavioural abstraction of "garbage the host
+never samples".  A cell *fires* only when every designated activity channel
+holds a non-bubble value -- exactly the beats on which the two-phase clock
+enables the cell in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class _Bubble:
+    """Singleton marking an empty (idle) register slot."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BUBBLE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Sentinel stored in register slots that carry no valid data this beat.
+BUBBLE = _Bubble()
+
+
+def is_bubble(value: object) -> bool:
+    """Return True if *value* is the idle-slot sentinel."""
+    return value is BUBBLE
+
+
+class CellKernel:
+    """Base class for cell behaviours.
+
+    Subclasses override :meth:`fire`, which is invoked only on the cell's
+    active beats, receives a mapping from channel name to the value that
+    just shifted in, and returns a mapping from channel name to the value
+    the cell passes on.  Channels omitted from the returned mapping are
+    passed through unchanged.  :meth:`fire` must not return bubbles.
+    """
+
+    def reset(self) -> None:
+        """Reinitialise internal state.  Default: stateless, no-op."""
+
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        """Compute this cell's outputs for one active beat."""
+        raise NotImplementedError
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Internal state for tracing; default empty."""
+        return {}
+
+
+class PassThroughKernel(CellKernel):
+    """A kernel that forwards everything unchanged (pure delay cell).
+
+    Channels omitted from a kernel's output pass through automatically,
+    so forwarding everything means producing nothing.
+    """
+
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        return {}
+
+
+class FunctionKernel(CellKernel):
+    """Adapt a plain function ``inputs -> outputs`` into a kernel."""
+
+    def __init__(self, fn, state_factory=None):
+        self._fn = fn
+        self._state_factory = state_factory
+        self.state = state_factory() if state_factory else None
+
+    def reset(self) -> None:
+        if self._state_factory:
+            self.state = self._state_factory()
+
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        if self._state_factory:
+            return self._fn(inputs, self.state)
+        return self._fn(inputs)
+
+
+def all_valid(inputs: Mapping[str, object], channels: Iterable[str]) -> bool:
+    """True when every named channel holds a non-bubble value."""
+    return all(not is_bubble(inputs[c]) for c in channels)

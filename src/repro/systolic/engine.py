@@ -1,0 +1,205 @@
+"""The beat-synchronous linear-array simulator.
+
+The simulator models exactly the data discipline of Section 3.2.1:
+
+* each named *channel* is a unidirectional shift register threading every
+  cell, moving one cell per beat, left-to-right (``RIGHT``, like the
+  pattern and the ``lambda``/``x`` control bits) or right-to-left
+  (``LEFT``, like the text string and the result stream);
+* on every beat **all** channels shift ("All characters on the chip move
+  during each beat");
+* a cell whose activity channels all carry valid data then *fires*,
+  replacing the contents of its own registers with computed values -- the
+  behavioural equivalent of the combinational logic that sits between
+  register stages in the NMOS implementation;
+* everything else passes through untouched, so alternate cells hold
+  bubbles and the active cells form the alternating pattern of Figure 3-2
+  (and, for the two-dimensional bit-level array, the checkerboard of
+  Figure 3-4).
+
+The same engine drives the character-level matcher, the Section 3.4
+counting/correlation/convolution machines and the unidirectional baseline
+of Section 3.3.1; only the kernels differ.  That is the paper's design
+thesis rendered as software: the data flow is the reusable part, the cell
+function is the variation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import SimulationError
+from .cell import BUBBLE, CellKernel, is_bubble
+
+
+class ChannelDirection(Enum):
+    """Which way a channel's shift register moves."""
+
+    RIGHT = "right"  # enters at cell 0, exits after cell n-1
+    LEFT = "left"    # enters at cell n-1, exits after cell 0
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declaration of one data channel threading the array."""
+
+    name: str
+    direction: ChannelDirection
+
+
+@dataclass
+class StepIO:
+    """Inputs to / outputs from one :meth:`LinearArray.step` call.
+
+    ``inputs`` maps channel name to the value entering the array this beat
+    (``BUBBLE`` if the stream has no valid item this beat).  ``outputs``
+    maps channel name to the value leaving at the opposite end *after* the
+    beat's shift and fire.
+    """
+
+    inputs: Dict[str, object] = field(default_factory=dict)
+    outputs: Dict[str, object] = field(default_factory=dict)
+
+
+class LinearArray:
+    """A linear systolic array of ``n_cells`` identical cells.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells.
+    channels:
+        The data channels threading the array.
+    kernel_factory:
+        Called once per cell index to build that cell's kernel.  All the
+        machines in this library use a single kernel type ("only a few
+        different types of simple cells"), but the factory signature keeps
+        the engine general.
+    activity_channels:
+        A cell fires on a beat only when every one of these channels holds
+        valid (non-bubble) data in the cell's registers after the shift.
+    recorder:
+        Optional :class:`~repro.systolic.tracing.TraceRecorder`.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        channels: Sequence[ChannelSpec],
+        kernel_factory: Callable[[int], CellKernel],
+        activity_channels: Sequence[str],
+        recorder: Optional["TraceRecorder"] = None,
+    ):
+        if n_cells <= 0:
+            raise SimulationError("array must contain at least one cell")
+        names = [c.name for c in channels]
+        if len(set(names)) != len(names):
+            raise SimulationError("channel names must be unique")
+        unknown = set(activity_channels) - set(names)
+        if unknown:
+            raise SimulationError(f"unknown activity channels: {sorted(unknown)}")
+        self.n_cells = n_cells
+        self.channels: Dict[str, ChannelSpec] = {c.name: c for c in channels}
+        self.activity_channels = tuple(activity_channels)
+        self.kernels: List[CellKernel] = [kernel_factory(i) for i in range(n_cells)]
+        self.recorder = recorder
+        # slots[name][i] is the register content of channel `name` at cell i.
+        self.slots: Dict[str, List[object]] = {
+            name: [BUBBLE] * n_cells for name in self.channels
+        }
+        self.beat = 0
+        self.fire_count = 0
+        self.slot_occupancy = 0  # valid slots observed, for utilization stats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the array to its power-on state."""
+        for name in self.slots:
+            self.slots[name] = [BUBBLE] * self.n_cells
+        for k in self.kernels:
+            k.reset()
+        self.beat = 0
+        self.fire_count = 0
+        self.slot_occupancy = 0
+
+    # -- one beat ------------------------------------------------------------
+
+    def step(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        """Advance the array by one beat.
+
+        *inputs* supplies the value entering each channel at its input end
+        this beat; channels omitted receive a bubble.  Returns the values
+        leaving each channel at its output end after the beat.
+        """
+        outputs: Dict[str, object] = {}
+        # Phase 1: global shift.  Capture the values that fall off the ends
+        # first, then move everything one cell along its direction.
+        for name, spec in self.channels.items():
+            row = self.slots[name]
+            incoming = inputs.get(name, BUBBLE)
+            if spec.direction is ChannelDirection.RIGHT:
+                outputs[name] = row[-1]
+                for i in range(self.n_cells - 1, 0, -1):
+                    row[i] = row[i - 1]
+                row[0] = incoming
+            else:
+                outputs[name] = row[0]
+                for i in range(self.n_cells - 1):
+                    row[i] = row[i + 1]
+                row[-1] = incoming
+
+        # Phase 2: fire active cells.
+        active_cells: List[int] = []
+        for i in range(self.n_cells):
+            if all(not is_bubble(self.slots[c][i]) for c in self.activity_channels):
+                active_cells.append(i)
+                cell_in = {name: self.slots[name][i] for name in self.channels}
+                produced = self.kernels[i].fire(cell_in)
+                for name, value in produced.items():
+                    if name not in self.channels:
+                        raise SimulationError(
+                            f"cell {i} produced value for unknown channel {name!r}"
+                        )
+                    if is_bubble(value):
+                        raise SimulationError(
+                            f"cell {i} produced a bubble on channel {name!r}"
+                        )
+                    self.slots[name][i] = value
+                self.fire_count += 1
+
+        for name in self.channels:
+            self.slot_occupancy += sum(
+                1 for v in self.slots[name] if not is_bubble(v)
+            )
+
+        if self.recorder is not None:
+            self.recorder.record(self, active_cells, dict(inputs), dict(outputs))
+        self.beat += 1
+        return outputs
+
+    def run(self, input_schedule: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+        """Run one beat per entry of *input_schedule*; return all outputs."""
+        return [self.step(beat_inputs) for beat_inputs in input_schedule]
+
+    # -- inspection ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[object]]:
+        """A copy of every channel's register contents."""
+        return {name: list(row) for name, row in self.slots.items()}
+
+    def utilization(self) -> float:
+        """Fraction of cell-beats on which a cell fired.
+
+        The paper's data flow keeps alternate cells idle, so the steady
+        state utilization of the matcher array approaches 1/2.
+        """
+        total = self.beat * self.n_cells
+        return self.fire_count / total if total else 0.0
+
+    def occupancy(self) -> float:
+        """Fraction of register slots holding valid data, averaged over time."""
+        total = self.beat * self.n_cells * len(self.channels)
+        return self.slot_occupancy / total if total else 0.0

@@ -1,0 +1,235 @@
+"""Self-timed (asynchronous) data flow -- the Section 3.3.2 alternative.
+
+"In a self-timed implementation, data flow control is distributed among
+the cells, so that each cell controls its own data transfers.
+Neighboring cells must obey a signalling convention to coordinate their
+communication. ... Each of the cells may run at its own pace,
+synchronizing with its neighbors only when communication is needed."
+
+:class:`SelfTimedLinearArray` is that machine: the same cells and channel
+structure as the clocked :class:`~repro.systolic.engine.LinearArray`, but
+no clock.  Every cell-to-cell link is a bounded FIFO guarded by a
+request/acknowledge handshake (modelled as the FIFO's space/occupancy),
+and each cell fires -- after its own, possibly unique, computation delay
+-- as soon as every input link offers a slot token and every output link
+has space.  Slot tokens include the idle "bubbles" of the synchronous
+schedule, which is exactly what a self-timed pipeline's valid bits carry;
+with the slot streams identical, the array is a deterministic Kahn
+network and produces beat-for-beat the clocked array's outputs, which the
+test suite asserts.  What changes is *time*: the clocked array must run
+every cell at the worst-case cell delay plus clock-distribution margin,
+while the self-timed array's steady throughput is set by its slowest cell
+alone -- the trade the paper weighs against the handshake circuitry cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import SimulationError
+from .cell import BUBBLE, CellKernel
+from .engine import ChannelDirection, ChannelSpec
+
+
+@dataclass
+class SelfTimedStats:
+    """Timing outcome of a self-timed run."""
+
+    finish_time: float
+    firings: int
+    slots_delivered: int
+
+    @property
+    def mean_slot_interval(self) -> float:
+        return self.finish_time / self.slots_delivered if self.slots_delivered else 0.0
+
+
+class SelfTimedLinearArray:
+    """An asynchronous linear array, functionally equal to the clocked one.
+
+    Parameters
+    ----------
+    n_cells, channels, kernel_factory, activity_channels:
+        As for :class:`~repro.systolic.engine.LinearArray`.
+    cell_delays:
+        Per-cell computation delay (arbitrary units).  Defaults to 1.0
+        everywhere; pass heterogeneous values to model fabrication
+        spread -- the case where self-timing pays.
+    fifo_depth:
+        Handshake buffer depth per link (>= 2: each link is primed with
+        one spacer bubble -- the self-timed equivalent of the clocked
+        array's reset-state registers -- and needs one free slot so the
+        opposing streams cannot deadlock each other at start-up).
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        channels: Sequence[ChannelSpec],
+        kernel_factory: Callable[[int], CellKernel],
+        activity_channels: Sequence[str],
+        cell_delays: Optional[Sequence[float]] = None,
+        fifo_depth: int = 2,
+    ):
+        if n_cells <= 0:
+            raise SimulationError("array must contain at least one cell")
+        if fifo_depth < 2:
+            raise SimulationError(
+                "handshake FIFOs need depth >= 2 (one spacer + one slot)"
+            )
+        self.n_cells = n_cells
+        self.channels = {c.name: c for c in channels}
+        self.activity_channels = tuple(activity_channels)
+        self.kernels = [kernel_factory(i) for i in range(n_cells)]
+        if cell_delays is None:
+            cell_delays = [1.0] * n_cells
+        if len(cell_delays) != n_cells or any(d <= 0 for d in cell_delays):
+            raise SimulationError("need one positive delay per cell")
+        self.cell_delays = list(cell_delays)
+        self.fifo_depth = fifo_depth
+        # Input FIFO of each cell per channel; cell n_cells is the output
+        # port for rightward channels, cell -1 (index n_cells+...) handled
+        # via dedicated sink lists.
+        self._in: List[Dict[str, deque]] = [
+            {name: deque([BUBBLE]) for name in self.channels}
+            for _ in range(n_cells)
+        ]
+        self.sink_right: Dict[str, List[object]] = {
+            n: [] for n, c in self.channels.items()
+            if c.direction is ChannelDirection.RIGHT
+        }
+        self.sink_left: Dict[str, List[object]] = {
+            n: [] for n, c in self.channels.items()
+            if c.direction is ChannelDirection.LEFT
+        }
+        self.stats = SelfTimedStats(0.0, 0, 0)
+
+    # -- wiring helpers ------------------------------------------------------
+
+    def _entry_cell(self, name: str) -> int:
+        return 0 if self.channels[name].direction is ChannelDirection.RIGHT else self.n_cells - 1
+
+    def _next_cell(self, name: str, i: int) -> Optional[int]:
+        if self.channels[name].direction is ChannelDirection.RIGHT:
+            return i + 1 if i + 1 < self.n_cells else None
+        return i - 1 if i - 1 >= 0 else None
+
+    def _cell_ready(self, i: int) -> bool:
+        """Fire rule: a slot token on every channel, space downstream."""
+        for name in self.channels:
+            if not self._in[i][name]:
+                return False
+            nxt = self._next_cell(name, i)
+            if nxt is not None and len(self._in[nxt][name]) >= self.fifo_depth:
+                return False
+        return True
+
+    # -- simulation -----------------------------------------------------------
+
+    def run(self, slot_schedule: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+        """Feed the synchronous slot schedule; return the slot outputs.
+
+        *slot_schedule* is the same per-beat input mapping the clocked
+        array takes (bubbles included implicitly).  Environment sources
+        are assumed able to deliver one slot per time unit -- the host's
+        DMA keeps up -- so functional behaviour is scheduling-independent
+        and timing reflects the cells.
+        """
+        n_slots = len(slot_schedule)
+        # Pre-load source queues (the environment's token streams).
+        sources: Dict[str, deque] = {
+            name: deque(
+                beat_in.get(name, BUBBLE) for beat_in in slot_schedule
+            )
+            for name in self.channels
+        }
+        # Event loop: (time, seq, kind, cell)
+        counter = itertools.count()
+        events: List = []
+
+        def schedule_cell(i: int, t: float) -> None:
+            heapq.heappush(events, (t, next(counter), "fire", i))
+
+        def feed_sources(t: float) -> None:
+            for name, queue in sources.items():
+                if not queue:
+                    continue
+                entry = self._entry_cell(name)
+                while queue and len(self._in[entry][name]) < self.fifo_depth:
+                    self._in[entry][name].append(queue.popleft())
+                    schedule_cell(entry, t)
+
+        outputs: List[Dict[str, object]] = []
+        out_count = {name: 0 for name in self.channels}
+        busy_until = [0.0] * self.n_cells
+        now = 0.0
+        feed_sources(now)
+        for i in range(self.n_cells):
+            schedule_cell(i, now)
+        guard = 0
+        max_events = 40 * n_slots * self.n_cells + 1000
+        while events:
+            guard += 1
+            if guard > max_events:
+                raise SimulationError("self-timed simulation did not drain "
+                                      "(handshake deadlock?)")
+            now, _, _, i = heapq.heappop(events)
+            if now < busy_until[i]:
+                # Safe to drop: every firing self-schedules a retry at its
+                # completion time, so the wake-up this event carries is
+                # subsumed (requeueing instead causes an event storm).
+                continue
+            if not self._cell_ready(i):
+                continue
+            # consume one slot per channel
+            slot = {name: self._in[i][name].popleft() for name in self.channels}
+            active = all(
+                slot[c] is not BUBBLE for c in self.activity_channels
+            )
+            if active:
+                produced = self.kernels[i].fire(slot)
+                for name, value in produced.items():
+                    slot[name] = value
+                self.stats.firings += 1
+            done = now + self.cell_delays[i]
+            busy_until[i] = done
+            for name, value in slot.items():
+                nxt = self._next_cell(name, i)
+                if nxt is None:
+                    sink = (
+                        self.sink_right if self.channels[name].direction
+                        is ChannelDirection.RIGHT else self.sink_left
+                    )
+                    sink[name].append(value)
+                    out_count[name] += 1
+                else:
+                    self._in[nxt][name].append(value)
+                    schedule_cell(nxt, done)
+            # this cell may fire again; upstream may now have space
+            schedule_cell(i, done)
+            for name in self.channels:
+                prev = self._prev_cell(name, i)
+                if prev is not None:
+                    schedule_cell(prev, done)
+            feed_sources(done)
+            self.stats.finish_time = max(self.stats.finish_time, done)
+        self.stats.slots_delivered = min(out_count.values()) if out_count else 0
+        # assemble per-slot outputs in arrival order
+        length = self.stats.slots_delivered
+        for k in range(length):
+            outputs.append(
+                {
+                    name: (self.sink_right.get(name) or self.sink_left.get(name))[k]
+                    for name in self.channels
+                }
+            )
+        return outputs
+
+    def _prev_cell(self, name: str, i: int) -> Optional[int]:
+        if self.channels[name].direction is ChannelDirection.RIGHT:
+            return i - 1 if i - 1 >= 0 else None
+        return i + 1 if i + 1 < self.n_cells else None

@@ -1,0 +1,128 @@
+"""Composition of systolic arrays: end-to-end chaining.
+
+Section 3.4 / Figure 3-7: "Several pattern matching chips can then be
+cascaded ... so that the cells on all of the chips form a single linear
+array."  The chip-to-chip connections are wires between pins, not extra
+register stages, so the cascade is *exactly* a longer array: the value a
+stage shifts out on a beat enters its neighbour on the same beat.
+
+(This matters for correctness, not just latency.  The pattern and string
+streams cross each other at relative velocity two stages per beat; adding
+a register stage at a boundary would make some pattern/string pairs cross
+*inside* the boundary and never be compared.  :class:`ChainedArrays`
+therefore wires boundaries combinationally, which is what the paper's
+figure depicts.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import SimulationError
+from .cell import BUBBLE
+from .engine import ChannelDirection, LinearArray
+
+
+class ChainedArrays:
+    """Several :class:`LinearArray` stages wired as one long array.
+
+    All stages must declare identical channels.  The chain presents the
+    same ``step`` interface as a single array: rightward inputs enter
+    stage 0, leftward inputs enter the last stage, and outputs appear at
+    the opposite ends.  Behaviour is beat-for-beat identical to a single
+    ``LinearArray`` with ``sum(n_cells)`` cells (verified by the test
+    suite), so drivers written for one chip work unchanged on a cascade.
+    """
+
+    def __init__(self, stages: Sequence[LinearArray]):
+        if not stages:
+            raise SimulationError("chain needs at least one stage")
+        channel_sets = [tuple(sorted(s.channels)) for s in stages]
+        if len(set(channel_sets)) != 1:
+            raise SimulationError("all chained stages must share channel names")
+        directions = {
+            name: spec.direction for name, spec in stages[0].channels.items()
+        }
+        for s in stages[1:]:
+            for name, spec in s.channels.items():
+                if spec.direction is not directions[name]:
+                    raise SimulationError(
+                        f"channel {name!r} direction differs between stages"
+                    )
+        self.stages: List[LinearArray] = list(stages)
+        self.directions = directions
+        self.beat = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Total cells across all stages."""
+        return sum(s.n_cells for s in self.stages)
+
+    def reset(self) -> None:
+        for s in self.stages:
+            s.reset()
+        self.beat = 0
+
+    def step(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        """Advance the whole chain by one beat.
+
+        Boundary values are sampled from each stage's end registers
+        *before* any stage shifts, then every stage shifts with those
+        values as inputs -- the software equivalent of wiring output pins
+        to input pins.
+        """
+        n = len(self.stages)
+        # Pre-shift boundary sampling: what each stage will hand over.
+        right_handoff: List[Dict[str, object]] = []  # stage b -> stage b+1
+        left_handoff: List[Dict[str, object]] = []   # stage b+1 -> stage b
+        for b in range(n - 1):
+            right_handoff.append(
+                {
+                    name: self.stages[b].slots[name][-1]
+                    for name, d in self.directions.items()
+                    if d is ChannelDirection.RIGHT
+                }
+            )
+            left_handoff.append(
+                {
+                    name: self.stages[b + 1].slots[name][0]
+                    for name, d in self.directions.items()
+                    if d is ChannelDirection.LEFT
+                }
+            )
+
+        stage_outputs: List[Dict[str, object]] = []
+        for idx, stage in enumerate(self.stages):
+            stage_in: Dict[str, object] = {}
+            for name, direction in self.directions.items():
+                if direction is ChannelDirection.RIGHT:
+                    stage_in[name] = (
+                        inputs.get(name, BUBBLE)
+                        if idx == 0
+                        else right_handoff[idx - 1][name]
+                    )
+                else:
+                    stage_in[name] = (
+                        inputs.get(name, BUBBLE)
+                        if idx == n - 1
+                        else left_handoff[idx][name]
+                    )
+            stage_outputs.append(stage.step(stage_in))
+
+        outputs: Dict[str, object] = {}
+        for name, direction in self.directions.items():
+            if direction is ChannelDirection.RIGHT:
+                outputs[name] = stage_outputs[-1][name]
+            else:
+                outputs[name] = stage_outputs[0][name]
+        self.beat += 1
+        return outputs
+
+    def snapshot(self) -> Dict[str, List[object]]:
+        """Concatenated register contents across the whole chain."""
+        out: Dict[str, List[object]] = {name: [] for name in self.directions}
+        for stage in self.stages:
+            snap = stage.snapshot()
+            for name in self.directions:
+                out[name].extend(snap[name])
+        return out

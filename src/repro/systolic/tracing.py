@@ -1,0 +1,113 @@
+"""Beat-by-beat traces of systolic arrays (reproduces Figure 3-2).
+
+Figure 3-2 of the paper traces the flow of pattern and string characters
+through the linear array over several beats, showing the two streams
+marching through each other with alternate cells idle.  The
+:class:`TraceRecorder` captures exactly that information from a running
+:class:`~repro.systolic.engine.LinearArray`, and :func:`render_flow`
+renders it as the same kind of beat-per-row character diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .cell import BUBBLE, is_bubble
+
+
+@dataclass
+class BeatTrace:
+    """Snapshot of one beat: register contents and which cells fired."""
+
+    beat: int
+    slots: Dict[str, List[object]]
+    active_cells: List[int]
+    inputs: Dict[str, object]
+    outputs: Dict[str, object]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`BeatTrace` records from a simulation run.
+
+    Attach to a :class:`~repro.systolic.engine.LinearArray` via its
+    ``recorder`` argument.  ``max_beats`` bounds memory for long runs
+    (older beats are dropped from the front).
+    """
+
+    max_beats: Optional[int] = None
+    beats: List[BeatTrace] = field(default_factory=list)
+
+    def record(self, array, active_cells, inputs, outputs) -> None:
+        self.beats.append(
+            BeatTrace(
+                beat=array.beat,
+                slots=array.snapshot(),
+                active_cells=list(active_cells),
+                inputs=inputs,
+                outputs=outputs,
+            )
+        )
+        if self.max_beats is not None and len(self.beats) > self.max_beats:
+            del self.beats[0]
+
+    def channel_history(self, channel: str) -> List[List[object]]:
+        """Per-beat register contents of one channel."""
+        return [list(bt.slots[channel]) for bt in self.beats]
+
+    def activity_matrix(self) -> List[List[bool]]:
+        """Per-beat booleans: did cell i fire on beat b?
+
+        In steady state this is the alternating pattern the paper draws:
+        cells active on alternate beats, neighbours out of phase.
+        """
+        out: List[List[bool]] = []
+        for bt in self.beats:
+            n = len(next(iter(bt.slots.values())))
+            row = [False] * n
+            for i in bt.active_cells:
+                row[i] = True
+            out.append(row)
+        return out
+
+    def meetings(self, chan_a: str, chan_b: str) -> List[tuple]:
+        """All (beat, cell, a_value, b_value) where both channels were valid.
+
+        For the matcher this lists exactly which pattern character met
+        which string character where and when -- the content of Figure 3-2.
+        """
+        out = []
+        for bt in self.beats:
+            ra, rb = bt.slots[chan_a], bt.slots[chan_b]
+            for i in range(len(ra)):
+                if not is_bubble(ra[i]) and not is_bubble(rb[i]):
+                    out.append((bt.beat, i, ra[i], rb[i]))
+        return out
+
+
+def render_flow(
+    recorder: TraceRecorder,
+    channels: List[str],
+    fmt: Optional[Callable[[object], str]] = None,
+    width: int = 4,
+) -> str:
+    """Render a recorder's history as a Figure 3-2 style text diagram.
+
+    One block per beat; within a block, one row per channel; idle slots
+    render as ``.``.  Active cells are marked with ``*`` on a header row.
+    """
+    if fmt is None:
+        fmt = lambda v: str(v)
+    lines: List[str] = []
+    for bt in recorder.beats:
+        n = len(next(iter(bt.slots.values())))
+        marks = ["*" if i in bt.active_cells else " " for i in range(n)]
+        lines.append(f"beat {bt.beat:4d}  " + "".join(m.center(width) for m in marks))
+        for ch in channels:
+            cells = [
+                "." if is_bubble(v) else fmt(v) for v in bt.slots[ch]
+            ]
+            lines.append(f"  {ch:>8s}  " + "".join(c.center(width) for c in cells))
+        lines.append("")
+    return "\n".join(lines)

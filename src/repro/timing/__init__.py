@@ -1,0 +1,20 @@
+"""Quantitative models behind the paper's performance and cost claims.
+
+* :mod:`repro.timing.model` -- beat timing, data rates, cascade and
+  multipass scaling (the 250 ns/char claim and Figure 3-7 scaling);
+* :mod:`repro.timing.power` -- broadcast vs local-communication drive
+  cost (the Section 3.3.1 argument against Mukhopadhyay's machine);
+* :mod:`repro.timing.economics` -- design-effort accounting (the
+  Section 2/5 argument that systolic regularity collapses design cost).
+"""
+
+from .economics import DesignEffortModel
+from .model import TimingModel
+from .power import broadcast_cycle_time, local_cycle_time
+
+__all__ = [
+    "DesignEffortModel",
+    "TimingModel",
+    "broadcast_cycle_time",
+    "local_cycle_time",
+]

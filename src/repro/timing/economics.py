@@ -1,0 +1,62 @@
+"""Design-effort accounting (the Section 2 / Section 5 economic claim).
+
+"Most special-purpose chips will be made in relatively small quantities,
+so the design cost must be kept low. ... One has to design and test only
+a few different, simple cells, as most of the cells on a chip are copies
+of a few basic ones."  And Section 5: "The design of the pattern matching
+chip ... took only about two man-months."
+
+The model: design effort is dominated by the number of *distinct* cell
+types (each must be designed, laid out, and verified) plus a fixed
+system-level overhead; replicated instances are nearly free.  An
+irregular design pays per *instance*.  The bench sweeps chip size and
+shows the regular design's effort staying flat while the irregular
+design's grows linearly -- which is the paper's whole argument in one
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class DesignEffortModel:
+    """Effort in man-weeks; defaults calibrated so the prototype's
+    4 distinct cell types + overhead land at the paper's two man-months.
+
+    ``weeks_per_cell_type``: design + layout + test of one cell type.
+    ``weeks_system_overhead``: data-flow control, pads, assembly, docs.
+    ``weeks_per_irregular_instance``: cost per cell when nothing is
+    reused (the hypothetical irregular design).
+    ``replication_overhead``: marginal cost of each additional *copy* of
+    an already-designed cell (near zero: step-and-repeat).
+    """
+
+    weeks_per_cell_type: float = 1.5
+    weeks_system_overhead: float = 2.0
+    weeks_per_irregular_instance: float = 1.5
+    replication_overhead: float = 0.01
+
+    def regular_design_weeks(self, n_cell_types: int, n_instances: int) -> float:
+        """Effort of a systolic (replicated-cell) design."""
+        if n_cell_types <= 0 or n_instances < n_cell_types:
+            raise ReproError("need at least one instance per cell type")
+        return (
+            self.weeks_system_overhead
+            + n_cell_types * self.weeks_per_cell_type
+            + (n_instances - n_cell_types) * self.replication_overhead
+        )
+
+    def irregular_design_weeks(self, n_instances: int) -> float:
+        """Effort when every cell is bespoke."""
+        if n_instances <= 0:
+            raise ReproError("need at least one instance")
+        return self.weeks_system_overhead + n_instances * self.weeks_per_irregular_instance
+
+    def prototype_weeks(self) -> float:
+        """The fabricated chip: 4 cell types (two twins of two cells),
+        8 columns x 3 rows = 24 cell instances."""
+        return self.regular_design_weeks(n_cell_types=4, n_instances=24)

@@ -1,0 +1,79 @@
+"""Beat timing and throughput scaling.
+
+The performance claims this model reproduces:
+
+1. *Rate*: "the chip can achieve a data rate of one character every
+   250 ns" -- one bus character per beat, one text character per two
+   beats, independent of pattern length.
+2. *Scaling*: cascading chips (Figure 3-7) multiplies pattern capacity
+   without touching the rate; the multipass scheme (Section 3.4) trades
+   rate for capacity linearly.
+3. *Comparison*: a software matcher's per-character time grows with the
+   pattern length; the chip's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """All timing in nanoseconds; one beat = one bus character."""
+
+    beat_ns: float = 250.0
+
+    def __post_init__(self):
+        if self.beat_ns <= 0:
+            raise ReproError("beat time must be positive")
+
+    # -- headline rates ----------------------------------------------------
+
+    def bus_rate_chars_per_s(self) -> float:
+        """One character (pattern or text) per beat."""
+        return 1e9 / self.beat_ns
+
+    def text_rate_chars_per_s(self) -> float:
+        """Text characters: every other bus slot."""
+        return self.bus_rate_chars_per_s() / 2
+
+    # -- end-to-end times ----------------------------------------------------------
+
+    def single_chip_run_ns(self, n_text: int, n_cells: int) -> float:
+        """Fill + stream + drain for one run (matches the array driver)."""
+        e_s = n_cells + 1
+        beats = e_s + 2 * max(0, n_text - 1) + n_cells + 1
+        return beats * self.beat_ns
+
+    def cascade_run_ns(self, n_text: int, n_cells: int, n_chips: int) -> float:
+        """A cascade is a longer chip: same rate, longer fill/drain."""
+        return self.single_chip_run_ns(n_text, n_cells * n_chips)
+
+    def multipass_run_ns(self, n_text: int, n_cells: int, pattern_len: int) -> float:
+        """Section 3.4 multipass: runs = ceil((N - k)/n), each a full pass."""
+        k = pattern_len - 1
+        covered = max(0, n_text - k)
+        runs = -(-covered // n_cells) if covered else 0
+        total = 0.0
+        for r in range(runs):
+            offset = (r + 1) * n_cells
+            e_s = n_cells + 1
+            beats = max(
+                e_s + 2 * max(0, n_text - 1),
+                2 * (offset + pattern_len - 1),
+            ) + n_cells + 1
+            total += beats * self.beat_ns
+        return total
+
+    def per_text_char_ns(self, pattern_len: int) -> float:
+        """Steady-state cost per text character: INDEPENDENT of pattern
+        length -- the claim the comparison benches plot."""
+        return 2 * self.beat_ns
+
+    def software_per_text_char_ns(
+        self, pattern_len: int, op_ns: float = 900.0, ops_per_compare: float = 4.0
+    ) -> float:
+        """Naive software: grows linearly with pattern length."""
+        return pattern_len * ops_per_compare * op_ns

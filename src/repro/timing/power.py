@@ -1,0 +1,71 @@
+"""Drive cost of broadcast vs local communication (Section 3.3.1).
+
+"Each cell requires a connection to the broadcast channel, which either
+increases the power requirements of the system as a whole or decreases
+its speed."  The model: driving a wire with n gate loads takes either
+
+* an *unbuffered* driver -- delay grows linearly in n (RC of the lumped
+  load), power ~ total switched capacitance; or
+* a *fanout tree* of buffers -- delay grows as log n, but every level
+  adds switching power and area.
+
+Local (neighbour-only) communication drives a constant load, so both its
+delay and per-wire power are constant in n.  These functions are
+deliberately simple first-order models; the benches use them for shapes,
+not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ReproError
+
+
+def local_cycle_time(t_logic_ns: float = 200.0, t_wire_ns: float = 50.0) -> float:
+    """Cycle time with nearest-neighbour wiring: constant in array size."""
+    return t_logic_ns + t_wire_ns
+
+
+def broadcast_cycle_time(
+    n_cells: int,
+    t_logic_ns: float = 200.0,
+    t_load_ns: float = 10.0,
+    buffered: bool = False,
+    fanout: int = 4,
+) -> float:
+    """Cycle time with one driver feeding *n_cells* loads."""
+    if n_cells <= 0:
+        raise ReproError("n_cells must be positive")
+    if not buffered:
+        return t_logic_ns + t_load_ns * n_cells
+    levels = max(1, math.ceil(math.log(n_cells, fanout)))
+    return t_logic_ns + t_load_ns * fanout * levels
+
+
+def broadcast_drive_power(n_cells: int, cap_per_cell: float = 1.0) -> float:
+    """Relative bus power: proportional to total switched load."""
+    if n_cells <= 0:
+        raise ReproError("n_cells must be positive")
+    return cap_per_cell * n_cells
+
+
+def local_drive_power(cap_per_wire: float = 1.0) -> float:
+    """Per-wire power of neighbour links: constant."""
+    return cap_per_wire
+
+
+def crossover_cells(
+    t_logic_ns: float = 200.0,
+    t_wire_ns: float = 50.0,
+    t_load_ns: float = 10.0,
+) -> int:
+    """Array size beyond which unbuffered broadcast is slower than local."""
+    n = 1
+    while broadcast_cycle_time(n, t_logic_ns, t_load_ns) <= local_cycle_time(
+        t_logic_ns, t_wire_ns
+    ):
+        n += 1
+        if n > 10_000:
+            raise ReproError("no crossover below 10000 cells; check parameters")
+    return n

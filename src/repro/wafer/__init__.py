@@ -1,0 +1,30 @@
+"""Wafer-scale integration (the Section 5 outlook, built).
+
+"The prospect of wafer-scale integration will increase the power of
+special purpose devices.  Modularity of algorithms is especially
+important in wafer-scale integration ... Manufacturing defects make it
+essential to be able to modify the interconnections so that a defective
+circuit is replaced by a functioning one on the same wafer.  This can be
+done easily if there are only a few types of circuits with regular
+interconnections."
+
+This subpackage builds that claim: a wafer of matcher cell sites with
+randomly placed manufacturing defects, a reconfiguration pass that
+harvests the functional sites into one long linear array by programming
+bypass switches, a Poisson yield model quantifying why monolithic chips
+cannot scale while reconfigurable wafers can, and a pattern matcher that
+runs -- verified against the oracle -- on the harvested array.
+"""
+
+from .reconfigure import HarvestResult, harvest_linear_array
+from .wafer import Wafer, WaferSite
+from .yield_model import expected_harvest_fraction, monolithic_yield
+
+__all__ = [
+    "HarvestResult",
+    "Wafer",
+    "WaferSite",
+    "expected_harvest_fraction",
+    "harvest_linear_array",
+    "monolithic_yield",
+]

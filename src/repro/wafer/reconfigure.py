@@ -1,0 +1,101 @@
+"""Interconnect reconfiguration: harvesting a linear array from a
+defective wafer.
+
+The wafer routes its cells in a serpentine (boustrophedon) order --
+left-to-right along row 0, right-to-left along row 1, and so on -- with a
+programmable bypass switch at every site.  A defective site's switch
+routes the three data channels (pattern/control rightward, string/result
+leftward) straight through, so the functional sites form one contiguous
+linear array, exactly the property the paper attributes to "a few types
+of circuits with regular interconnections".
+
+Bypass switches are not free: each bypassed site adds wire delay, so the
+harvest enforces a bound on *consecutive* bypasses (a long dead stretch
+would break the beat budget).  The result reports the harvested chain and
+the worst bypass run, and :func:`matcher_from_harvest` builds a working
+pattern matcher on the surviving cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.array import MATCHER_CHANNELS, SystolicMatcherArray
+from ..core.cells import MatcherCellKernel
+from ..errors import ChipError
+from .wafer import Wafer, WaferSite
+
+
+@dataclass
+class HarvestResult:
+    """Outcome of a reconfiguration pass."""
+
+    chain: List[Tuple[int, int]]
+    bypassed: List[Tuple[int, int]]
+    worst_bypass_run: int
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.chain)
+
+    @property
+    def harvest_fraction_of_sites(self) -> float:
+        total = len(self.chain) + len(self.bypassed)
+        return len(self.chain) / total if total else 0.0
+
+
+def serpentine_order(wafer: Wafer) -> List[WaferSite]:
+    """The fixed physical routing order of the wafer's sites."""
+    order: List[WaferSite] = []
+    for r in range(wafer.rows):
+        row = wafer.sites[r]
+        order.extend(row if r % 2 == 0 else reversed(row))
+    return order
+
+
+def harvest_linear_array(
+    wafer: Wafer, max_bypass_run: int = 4
+) -> HarvestResult:
+    """Programme the bypass switches; returns the harvested chain.
+
+    Raises :class:`ChipError` if any stretch of consecutive defects
+    exceeds *max_bypass_run* (the wafer is then unusable as one array --
+    it would be diced into smaller arrays instead).
+    """
+    chain: List[Tuple[int, int]] = []
+    bypassed: List[Tuple[int, int]] = []
+    run = 0
+    worst = 0
+    for site in serpentine_order(wafer):
+        if site.functional:
+            chain.append(site.position)
+            run = 0
+        else:
+            bypassed.append(site.position)
+            run += 1
+            worst = max(worst, run)
+            if run > max_bypass_run:
+                raise ChipError(
+                    f"defect run of {run} consecutive sites exceeds the "
+                    f"bypass budget of {max_bypass_run} at {site.position}"
+                )
+    return HarvestResult(chain=chain, bypassed=bypassed, worst_bypass_run=worst)
+
+
+def matcher_from_harvest(
+    harvest: HarvestResult, n_cells: Optional[int] = None
+) -> SystolicMatcherArray:
+    """A matcher array running on the harvested cells.
+
+    ``n_cells`` trims the chain (a pattern shorter than the harvest needs
+    fewer cells); defaults to the whole harvest.
+    """
+    usable = harvest.n_cells if n_cells is None else n_cells
+    if usable <= 0:
+        raise ChipError("harvest yielded no usable cells")
+    if usable > harvest.n_cells:
+        raise ChipError(
+            f"requested {usable} cells but the harvest has {harvest.n_cells}"
+        )
+    return SystolicMatcherArray(usable)

@@ -1,0 +1,77 @@
+"""A wafer of replicated cell sites with manufacturing defects."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ChipError
+
+
+@dataclass
+class WaferSite:
+    """One fabricated copy of the character cell on the wafer."""
+
+    row: int
+    col: int
+    functional: bool = True
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.row, self.col)
+
+
+class Wafer:
+    """A rows x cols grid of identical cell sites.
+
+    Defects are drawn independently per site with probability
+    ``defect_rate`` -- the spatially uncorrelated approximation of a
+    Poisson defect process at one-defect-kills-one-cell granularity,
+    which is the regime the paper's argument addresses (a few circuit
+    types, regular interconnect, bypassable units).
+    """
+
+    def __init__(self, rows: int, cols: int, defect_rate: float = 0.0,
+                 seed: Optional[int] = None):
+        if rows <= 0 or cols <= 0:
+            raise ChipError("wafer needs a positive grid")
+        if not 0.0 <= defect_rate < 1.0:
+            raise ChipError("defect rate must be in [0, 1)")
+        self.rows = rows
+        self.cols = cols
+        self.defect_rate = defect_rate
+        rng = random.Random(seed)
+        self.sites: List[List[WaferSite]] = [
+            [
+                WaferSite(r, c, functional=(rng.random() >= defect_rate))
+                for c in range(cols)
+            ]
+            for r in range(rows)
+        ]
+
+    def __iter__(self) -> Iterator[WaferSite]:
+        for row in self.sites:
+            yield from row
+
+    @property
+    def n_sites(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def n_functional(self) -> int:
+        return sum(1 for s in self if s.functional)
+
+    def site(self, row: int, col: int) -> WaferSite:
+        return self.sites[row][col]
+
+    def mark_defective(self, row: int, col: int) -> None:
+        """Inject a defect (for targeted tests)."""
+        self.sites[row][col].functional = False
+
+    def defect_map(self) -> str:
+        """ASCII map: '.' functional, 'X' defective."""
+        return "\n".join(
+            "".join("." if s.functional else "X" for s in row)
+            for row in self.sites
+        )

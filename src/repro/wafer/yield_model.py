@@ -1,0 +1,63 @@
+"""Yield economics: why reconfiguration is the only road to wafer scale.
+
+A monolithic device needs *every* cell functional, so its yield decays
+geometrically with cell count; a reconfigurable wafer keeps the expected
+fraction of functional cells regardless of size.  These two curves --
+collapsing vs flat -- are the quantitative form of the paper's Section 5
+argument, and the wafer bench plots them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ChipError
+
+
+def monolithic_yield(n_cells: int, defect_rate: float) -> float:
+    """P(all n cells functional) = (1 - d)^n."""
+    if n_cells <= 0:
+        raise ChipError("need a positive cell count")
+    if not 0.0 <= defect_rate < 1.0:
+        raise ChipError("defect rate must be in [0, 1)")
+    return (1.0 - defect_rate) ** n_cells
+
+
+def expected_harvest_fraction(defect_rate: float) -> float:
+    """Expected fraction of sites a reconfigurable wafer keeps: 1 - d."""
+    if not 0.0 <= defect_rate < 1.0:
+        raise ChipError("defect rate must be in [0, 1)")
+    return 1.0 - defect_rate
+
+
+def long_run_probability(n_sites: int, defect_rate: float, run: int) -> float:
+    """Upper bound on P(some defect run longer than *run*).
+
+    Union bound: at most ``n_sites`` starting positions, each a run of
+    ``run + 1`` consecutive defects with probability d^(run+1).  Used to
+    size the bypass budget so harvest failure is negligible.
+    """
+    if run < 0:
+        raise ChipError("run must be non-negative")
+    return min(1.0, n_sites * defect_rate ** (run + 1))
+
+
+def cells_per_wafer(rows: int, cols: int, defect_rate: float) -> float:
+    """Expected harvested cells from a rows x cols wafer."""
+    return rows * cols * expected_harvest_fraction(defect_rate)
+
+
+def break_even_size(defect_rate: float, overhead_fraction: float = 0.1) -> int:
+    """Cell count where monolithic yield drops below the reconfigurable
+    wafer's effective yield (1 - d) * (1 - overhead).
+
+    The bypass switches cost area (*overhead_fraction*); beyond the
+    returned size, reconfiguration wins outright.
+    """
+    target = (1.0 - defect_rate) * (1.0 - overhead_fraction)
+    n = 1
+    while monolithic_yield(n, defect_rate) > target:
+        n += 1
+        if n > 10**7:
+            raise ChipError("no break-even below 10^7 cells; defect rate ~ 0?")
+    return n

@@ -1,0 +1,37 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro import Alphabet
+
+
+@pytest.fixture
+def ab4() -> Alphabet:
+    """The prototype's alphabet: four symbols, two-bit characters."""
+    return Alphabet("ABCD")
+
+
+@pytest.fixture
+def ab2() -> Alphabet:
+    """Minimal alphabet with one-bit characters."""
+    return Alphabet("AB", bits=1)
+
+
+def patterns(symbols: str = "ABCD", max_len: int = 6, wildcards: bool = True):
+    """Strategy for pattern strings (X = wildcard when enabled)."""
+    alphabet = symbols + ("X" if wildcards else "")
+    return st.text(alphabet=alphabet, min_size=1, max_size=max_len)
+
+
+def texts(symbols: str = "ABCD", max_len: int = 30):
+    """Strategy for text strings."""
+    return st.text(alphabet=symbols, min_size=0, max_size=max_len)
+
+
+#: Immutable module-level alphabets for hypothesis @given tests (fixtures
+#: are function-scoped, which hypothesis rejects inside @given).
+AB4 = Alphabet("ABCD")
+AB2 = Alphabet("AB", bits=1)

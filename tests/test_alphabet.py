@@ -1,0 +1,119 @@
+"""Alphabets, wildcards, and binary encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Alphabet, PatternChar, WILDCARD, parse_pattern, pattern_to_string
+from repro.alphabet import PROTOTYPE_ALPHABET, is_wildcard
+from repro.errors import AlphabetError, PatternError
+
+
+class TestAlphabet:
+    def test_prototype_alphabet_is_two_bits(self):
+        assert PROTOTYPE_ALPHABET.bits == 2
+        assert len(PROTOTYPE_ALPHABET) == 4
+
+    def test_default_bits_is_minimum(self):
+        assert Alphabet("AB").bits == 1
+        assert Alphabet("ABC").bits == 2
+        assert Alphabet("ABCDE").bits == 3
+
+    def test_explicit_wider_encoding_allowed(self):
+        assert Alphabet("AB", bits=4).bits == 4
+
+    def test_too_narrow_encoding_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ABCDE", bits=2)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ABA")
+
+    def test_multichar_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["AB", "C"])
+
+    def test_membership_and_index(self):
+        ab = Alphabet("ABCD")
+        assert "C" in ab
+        assert "Z" not in ab
+        assert ab.index("C") == 2
+        with pytest.raises(AlphabetError):
+            ab.index("Z")
+
+    def test_encode_is_big_endian(self):
+        ab = Alphabet("ABCD")
+        assert ab.encode("A") == (0, 0)
+        assert ab.encode("B") == (0, 1)
+        assert ab.encode("C") == (1, 0)
+        assert ab.encode("D") == (1, 1)
+
+    def test_decode_rejects_bad_width_and_values(self):
+        ab = Alphabet("ABCD")
+        with pytest.raises(AlphabetError):
+            ab.decode((0,))
+        with pytest.raises(AlphabetError):
+            ab.decode((0, 2))
+
+    def test_decode_rejects_out_of_range_codes(self):
+        ab = Alphabet("ABC")  # 2 bits, code 3 unused
+        with pytest.raises(AlphabetError):
+            ab.decode((1, 1))
+
+    def test_equality_and_hash(self):
+        assert Alphabet("AB") == Alphabet("AB")
+        assert Alphabet("AB") != Alphabet("AB", bits=2)
+        assert hash(Alphabet("AB")) == hash(Alphabet("AB"))
+
+    @given(st.sampled_from("ABCDEFGH"))
+    def test_encode_decode_roundtrip(self, ch):
+        ab = Alphabet("ABCDEFGH")
+        assert ab.decode(ab.encode(ch)) == ch
+
+    def test_validate_text(self):
+        ab = Alphabet("AB", bits=1)
+        assert ab.validate_text("ABBA") == list("ABBA")
+        with pytest.raises(AlphabetError):
+            ab.validate_text("ABC")
+
+
+class TestPatternParsing:
+    def test_wildcard_symbol_parsed(self):
+        pcs = parse_pattern("AXC", Alphabet("ABCD"))
+        assert [p.is_wild for p in pcs] == [False, True, False]
+
+    def test_wildcard_object_always_wild(self):
+        ab = Alphabet("AX")  # X is a real symbol here
+        pcs = parse_pattern(["A", WILDCARD, "X"], ab)
+        assert [p.is_wild for p in pcs] == [False, True, False]
+
+    def test_wildcard_symbol_in_alphabet_is_literal(self):
+        ab = Alphabet("AX")
+        pcs = parse_pattern("AX", ab)
+        assert [p.is_wild for p in pcs] == [False, False]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("", Alphabet("AB"))
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(AlphabetError):
+            parse_pattern("AZ", Alphabet("AB"))
+
+    def test_pattern_char_matches(self):
+        assert PatternChar("A").matches("A")
+        assert not PatternChar("A").matches("B")
+        assert PatternChar("A", is_wild=True).matches("B")
+
+    def test_round_trip_to_string(self):
+        ab = Alphabet("ABCD")
+        assert pattern_to_string(parse_pattern("AXCD", ab)) == "AXCD"
+
+    def test_is_wildcard_helper(self):
+        assert is_wildcard(WILDCARD)
+        assert not is_wildcard("X")

@@ -1,0 +1,68 @@
+"""Cross-level verification helpers, metrics, report tables, and the
+paper's headline claims end to end."""
+
+import math
+
+import pytest
+
+from repro import Alphabet
+from repro.analysis import Table, comparison_counts, utilization_profile, verify_matcher_stack
+
+
+class TestVerifyStack:
+    def test_all_levels_agree_on_paper_example(self, ab4):
+        rep = verify_matcher_stack("AXC", "ABCAACACCAB", ab4)
+        assert rep.all_agree
+        assert rep.disagreements() == []
+
+    def test_gate_level_included_on_request(self, ab2):
+        rep = verify_matcher_stack("AB", "AABB", ab2, include_gate_level=True)
+        assert "switch-level netlist" in rep.levels
+        assert rep.all_agree
+
+    def test_disagreement_reported(self, ab4):
+        rep = verify_matcher_stack("AB", "ABAB", ab4)
+        rep.levels["bogus"] = [True] * 4
+        assert not rep.all_agree
+        assert rep.disagreements() == ["bogus"]
+
+
+class TestMetrics:
+    def test_comparison_counts_fields(self, ab4):
+        counts = comparison_counts("AXC", "ABCAACACCAB" * 3, ab4)
+        assert counts["naive software"] > 0
+        assert math.isnan(counts["KMP"])  # wildcard: inapplicable
+        assert counts["systolic (parallel cell firings)"] > 0
+
+    def test_exact_pattern_enables_kmp(self, ab4):
+        counts = comparison_counts("ABC", "ABCABC" * 5, ab4)
+        assert not math.isnan(counts["KMP"])
+        assert not math.isnan(counts["Boyer-Moore"])
+
+    def test_utilization_profile_monotone_toward_half(self, ab4):
+        profile = utilization_profile("ABCD", ["ABCD" * n for n in (2, 8, 32)], ab4)
+        assert profile[0] < profile[-1] <= 0.5 + 1e-9
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.row(["x", 1.5])
+        t.row(["longer", float("nan")])
+        text = t.render()
+        assert "demo" in text
+        assert "n/a" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:]}) <= 2  # aligned columns
+
+    def test_row_width_enforced(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.row([1, 2])
+
+    def test_float_formats(self):
+        t = Table(["v"])
+        t.row([12345.678])
+        t.row([0.00012])
+        text = t.render()
+        assert "1.23e+04" in text and "0.00012" in text

@@ -1,0 +1,169 @@
+"""Every Section 3.3.1 alternative: correctness and characteristics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import match_oracle, parse_pattern
+from repro.baselines import (
+    BoyerMooreMatcher,
+    BroadcastMatcher,
+    KMPMatcher,
+    ShiftOrMatcher,
+    UnidirectionalArrayMatcher,
+    boyer_moore_match,
+    fischer_paterson_match,
+    kmp_match,
+    naive_match,
+    shift_or_match,
+)
+from repro.baselines.broadcast import BroadcastTimingModel
+from repro.baselines.naive import OpCounter
+from repro.errors import PatternError
+
+from conftest import AB4, patterns, texts
+
+
+class TestNaive:
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(), text=texts())
+    def test_matches_oracle(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert naive_match(pcs, list(text)) == match_oracle(pcs, list(text))
+
+    def test_comparison_count_scales_with_pattern(self, ab4):
+        text = list("A" * 50)
+        counts = []
+        for L in (2, 4, 8):
+            counter = OpCounter()
+            naive_match(parse_pattern("A" * L, ab4), text, counter)
+            counts.append(counter.comparisons)
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestKMP:
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(wildcards=False), text=texts())
+    def test_matches_oracle_exact(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert kmp_match(pcs, list(text)) == match_oracle(pcs, list(text))
+
+    def test_rejects_wildcards(self, ab4):
+        """Section 3.3.1: the matches relation is not transitive with
+        wild cards, so KMP's self-match tables are unusable."""
+        with pytest.raises(PatternError):
+            KMPMatcher(parse_pattern("AXB", ab4))
+
+    def test_failure_function(self, ab4):
+        m = KMPMatcher(parse_pattern("ABAB", ab4))
+        assert m.failure == [0, 0, 1, 2]
+
+    def test_linear_comparisons(self, ab4):
+        counter = OpCounter()
+        kmp_match(parse_pattern("ABAB", ab4), list("ABAB" * 25), counter)
+        assert counter.comparisons <= 2 * 100
+
+
+class TestBoyerMoore:
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(wildcards=False), text=texts())
+    def test_matches_oracle_exact(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert boyer_moore_match(pcs, list(text)) == match_oracle(pcs, list(text))
+
+    def test_rejects_wildcards(self, ab4):
+        with pytest.raises(PatternError):
+            BoyerMooreMatcher(parse_pattern("XA", ab4))
+
+    def test_sublinear_scanning_on_mismatching_text(self, ab4):
+        """BM examines fewer characters than the text length when the
+        pattern's last character is rare -- the skip behaviour that
+        requires random access and thus disqualifies it for streaming."""
+        m = BoyerMooreMatcher(parse_pattern("DDDD", ab4))
+        text = list("ABCABC" * 40)
+        assert m.characters_examined(text) < len(text)
+
+
+class TestShiftOr:
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(max_len=6), text=texts())
+    def test_matches_oracle_with_wildcards(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert shift_or_match(pcs, list(text)) == match_oracle(pcs, list(text))
+
+    def test_word_cost_grows_past_word_width(self, ab4):
+        short = ShiftOrMatcher(parse_pattern("A" * 8, ab4))
+        long = ShiftOrMatcher(parse_pattern("A" * 100, ab4))
+        assert short.words_per_character(32) == 1
+        assert long.words_per_character(32) == 4
+
+
+class TestFischerPaterson:
+    @settings(max_examples=20, deadline=None)
+    @given(pattern=patterns(max_len=5), text=texts(max_len=25))
+    def test_matches_oracle_with_wildcards(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert fischer_paterson_match(pcs, list(text)) == match_oracle(pcs, list(text))
+
+    def test_all_wildcard_pattern(self, ab4):
+        pcs = parse_pattern("XX", ab4)
+        assert fischer_paterson_match(pcs, list("ABC")) == [False, True, True]
+
+    def test_superlinear_work_model(self):
+        from repro.baselines.fischer_paterson import fft_work_estimate
+
+        w1 = fft_work_estimate(1000, 8, 4)
+        w2 = fft_work_estimate(2000, 8, 4)
+        assert w2 > 2 * w1  # more than linear
+
+
+class TestBroadcast:
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=patterns(max_len=6), text=texts())
+    def test_matches_oracle(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        assert BroadcastMatcher(pcs).match(list(text)) == match_oracle(pcs, list(text))
+
+    def test_unbuffered_cycle_time_grows_linearly(self):
+        t = BroadcastTimingModel()
+        assert t.cycle_time(100) - t.cycle_time(50) == pytest.approx(
+            50 * t.t_load_per_cell
+        )
+
+    def test_buffered_cycle_time_grows_logarithmically(self):
+        t = BroadcastTimingModel(buffered=True, buffer_fanout=4)
+        t16, t256 = t.cycle_time(16), t.cycle_time(256)
+        assert t256 < 2 * t16  # log growth, not 16x
+
+    def test_drive_power_proportional_to_cells(self):
+        t = BroadcastTimingModel()
+        assert t.drive_power(64) == pytest.approx(8 * t.drive_power(8))
+
+    def test_reload_costs_cells(self, ab4):
+        m = BroadcastMatcher(parse_pattern("ABCD", ab4))
+        assert m.load_pattern_cycles() == 4
+
+
+class TestUnidirectional:
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=patterns(max_len=5), text=texts(max_len=25))
+    def test_matches_oracle(self, pattern, text):
+        pcs = parse_pattern(pattern, AB4)
+        m = UnidirectionalArrayMatcher(pcs)
+        assert m.match(list(text)) == match_oracle(pcs, list(text))
+
+    def test_full_rate_streaming(self, ab4):
+        """The rejected design streams text at 1 char/beat (vs 1/2)..."""
+        m = UnidirectionalArrayMatcher(parse_pattern("ABC", ab4))
+        assert m.beats_for_text(1000) < 1.1 * 1000
+
+    def test_but_pays_reload_per_query(self, ab4):
+        """...and pays a serial pattern reload before every query, the
+        Section 3.3.1 rejection rationale."""
+        m = UnidirectionalArrayMatcher(parse_pattern("A" * 20, ab4))
+        many_short = m.beats_for_workload([10] * 50)
+        one_long = m.beats_for_workload([500])
+        assert many_short > 50 * m.load_beats  # reload cost present
+        assert m.load_beats * 50 > m.load_beats * 1  # amortisation matters
+        assert one_long < many_short

@@ -1,0 +1,138 @@
+"""The comparator and accumulator cell circuits vs their algorithms."""
+
+import random
+
+import pytest
+
+from repro.circuit.cells.accumulator import ACCUMULATOR_DEVICES, build_accumulator
+from repro.circuit.cells.comparator import COMPARATOR_DEVICES, build_comparator
+from repro.circuit.netlist import Circuit
+from repro.circuit.signals import HIGH, LOW, UNKNOWN
+from repro.core.cells import AccumulatorCell
+from repro.errors import CircuitError
+
+
+def clock_comparator(c, ports, p, s, d):
+    c.set_input(ports["p_in"], p)
+    c.set_input(ports["s_in"], s)
+    c.set_input(ports["d_in"], d)
+    c.set_input("clk", HIGH)
+    c.settle()
+    c.set_input("clk", LOW)
+    c.settle()
+    return (
+        c.read_bool(ports["p_out"]),
+        c.read_bool(ports["s_out"]),
+        c.read_bool(ports["d_out"]),
+    )
+
+
+class TestComparatorCircuit:
+    """Figure 3-6, exhaustively, both twins."""
+
+    @pytest.mark.parametrize("positive", [True, False], ids=["pos", "neg"])
+    def test_truth_table(self, positive):
+        c = Circuit()
+        ports = build_comparator(c, "u.", "clk", positive=positive)
+        for p in (0, 1):
+            for s in (0, 1):
+                for d in (0, 1):
+                    ins = (p, s, d) if positive else (1 - p, 1 - s, 1 - d)
+                    po, so, do = clock_comparator(c, ports, *ins)
+                    d_alg = bool(d) and (p == s)
+                    if positive:
+                        assert (po, so, do) == (not p, not s, not d_alg)
+                    else:
+                        assert (po, so, do) == (bool(p), bool(s), d_alg)
+
+    def test_outputs_hold_while_clock_low(self):
+        c = Circuit()
+        ports = build_comparator(c, "u.", "clk", positive=True)
+        clock_comparator(c, ports, 1, 1, 1)
+        # inputs change while the clock is low: outputs must not
+        c.set_input(ports["p_in"], LOW)
+        c.set_input(ports["s_in"], HIGH)
+        c.settle()
+        assert c.read(ports["d_out"]) is LOW  # still NAND(1, eq(1,1)) = 0
+
+    def test_four_gate_budget(self):
+        """'The pattern matcher cells ... contain only four gates each.'"""
+        for positive in (True, False):
+            c = Circuit()
+            build_comparator(c, "u.", "clk", positive=positive)
+            assert c.n_transistors == COMPARATOR_DEVICES == 15
+
+    def test_prefix_validated(self):
+        with pytest.raises(CircuitError):
+            build_comparator(Circuit(), "noperiod", "clk")
+
+
+def clock_accumulator(c, ports, d, x, lam, r, positive):
+    di, xi, li, ri = (d, x, lam, r) if positive else (1 - d, 1 - x, 1 - lam, 1 - r)
+    c.set_input(ports["d_in"], di)
+    c.set_input(ports["x_in"], xi)
+    c.set_input(ports["lam_in"], li)
+    c.set_input(ports["r_in"], ri)
+    c.set_input("clkB", LOW)
+    c.set_input("clkA", HIGH)
+    c.settle()
+    c.set_input("clkA", LOW)
+    c.settle()
+    out = c.read(ports["r_out"])
+    c.set_input("clkB", HIGH)
+    c.settle()
+    c.set_input("clkB", LOW)
+    c.settle()
+    return out
+
+
+class TestAccumulatorCircuit:
+    @pytest.mark.parametrize("positive", [True, False], ids=["pos", "neg"])
+    def test_sequential_behaviour_matches_algorithm(self, positive):
+        c = Circuit()
+        ports = build_accumulator(c, "a.", "clkA", "clkB", positive=positive)
+        beh = AccumulatorCell()
+        random.seed(17)
+        synced = False
+        checked = 0
+        for step in range(60):
+            lam = 1 if step == 0 else int(random.random() < 0.3)
+            d, x, r = (random.randint(0, 1) for _ in range(3))
+            out = clock_accumulator(c, ports, d, x, lam, r, positive)
+            emitted = beh.absorb(bool(d), bool(x), bool(lam))
+            want = emitted.value if emitted is not None else bool(r)
+            if lam:
+                synced = True
+                continue  # the sync emission itself may be garbage
+            if synced and out is not UNKNOWN:
+                got = out is HIGH
+                if positive:
+                    got = not got  # positive twin emits inverted r
+                assert got == want, (step, d, x, lam, r)
+                checked += 1
+        assert checked > 20
+
+    @pytest.mark.parametrize("positive", [True, False], ids=["pos", "neg"])
+    def test_lambda_emission_matches_algorithm(self, positive):
+        """Run fixed sequences whose lambda-beat output is fully known."""
+        c = Circuit()
+        ports = build_accumulator(c, "a.", "clkA", "clkB", positive=positive)
+        # sync: lambda with d=1,x=0 -> afterwards t=TRUE
+        clock_accumulator(c, ports, 1, 0, 1, 0, positive)
+        # window [match, mismatch, lambda-match] -> emission False
+        clock_accumulator(c, ports, 1, 0, 0, 0, positive)
+        clock_accumulator(c, ports, 0, 0, 0, 0, positive)
+        out = clock_accumulator(c, ports, 1, 0, 1, 0, positive)
+        got = (out is HIGH) if not positive else (out is LOW)
+        assert got is False
+        # next window all-match with a wildcard mismatch -> emission True
+        clock_accumulator(c, ports, 1, 0, 0, 0, positive)
+        clock_accumulator(c, ports, 0, 1, 0, 0, positive)  # x covers d=0
+        out = clock_accumulator(c, ports, 1, 0, 1, 0, positive)
+        got = (out is HIGH) if not positive else (out is LOW)
+        assert got is True
+
+    def test_device_budget_recorded(self):
+        c = Circuit()
+        build_accumulator(c, "a.", "clkA", "clkB", positive=True)
+        assert c.n_transistors >= 25  # bigger than the comparator

@@ -1,0 +1,81 @@
+"""The whole matcher at switch level vs the behavioural model/oracle.
+
+This is the library's deepest cross-level check: the same feeding
+schedule drives a transistor netlist of the full Figure 3-3/3-4 array and
+must reproduce the algorithm bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro import Alphabet, match_oracle
+from repro.circuit.chipnet import GateLevelMatcher, MatcherArrayNetlist
+from repro.errors import CircuitError, PatternError
+
+
+class TestNetlistStructure:
+    def test_polarity_checkerboard(self):
+        net = MatcherArrayNetlist(4, 2)
+        assert net.is_positive(0, 0)
+        assert not net.is_positive(1, 0)
+        assert not net.is_positive(0, 1)
+        assert net.is_positive(1, 1)
+
+    def test_phase_matches_polarity_parity(self):
+        net = MatcherArrayNetlist(3, 2)
+        for i in range(3):
+            for j in range(3):
+                assert net.phase_of(i, j) == net.phi[(i + j) % 2]
+
+    def test_transistor_count_scales_linearly(self):
+        small = MatcherArrayNetlist(2, 2).n_transistors
+        large = MatcherArrayNetlist(4, 2).n_transistors
+        assert large == pytest.approx(2 * small, rel=0.1)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(CircuitError):
+            MatcherArrayNetlist(0, 1)
+
+
+class TestGateLevelCorrectness:
+    def test_paper_example_on_silicon_model(self):
+        """The AXC example of Figure 3-1 through the transistor netlist."""
+        g = GateLevelMatcher("AXC", Alphabet("ABCD"))
+        text = "ABCAACACCAB"
+        assert g.match(text) == match_oracle(g.pattern, list(text))
+
+    def test_exhaustive_tiny_space(self, ab2):
+        for pattern in ("A", "B", "X", "AB", "BX", "XA"):
+            for t in range(8):
+                text = format(t, "03b").replace("0", "A").replace("1", "B")
+                g = GateLevelMatcher(pattern, ab2)
+                assert g.match(text) == match_oracle(g.pattern, list(text)), (
+                    pattern,
+                    text,
+                )
+
+    def test_random_two_bit_cases(self, ab4):
+        random.seed(23)
+        for _ in range(4):
+            L = random.randint(1, 3)
+            pattern = "".join(random.choice("ABCDX") for _ in range(L))
+            text = "".join(random.choice("ABCD") for _ in range(random.randint(3, 8)))
+            g = GateLevelMatcher(pattern, ab4)
+            assert g.match(text) == match_oracle(g.pattern, list(text)), (
+                pattern,
+                text,
+            )
+
+    def test_oversized_array(self, ab2):
+        g = GateLevelMatcher("AB", ab2, n_cells=3)
+        text = "AABAB"
+        assert g.match(text) == match_oracle(g.pattern, list(text))
+
+    def test_pattern_must_fit(self, ab2):
+        with pytest.raises(PatternError):
+            GateLevelMatcher("ABA", ab2, n_cells=2)
+
+    def test_transistor_count_reported(self, ab2):
+        g = GateLevelMatcher("AB", ab2)
+        assert g.n_transistors > 50

@@ -1,0 +1,226 @@
+"""Switch-level solver: gates, strengths, charge, pathologies."""
+
+import pytest
+
+from repro.circuit import Circuit, GND, VDD, HIGH, LOW, UNKNOWN
+from repro.circuit.gates import inverter, nand2, nand3, nor2, pass_transistor, xnor_from_rails
+from repro.circuit.signals import Strength, from_bool, resolve, to_bool
+from repro.errors import ChargeDecayError, CircuitError
+
+
+class TestSignals:
+    def test_resolve_strength_order(self):
+        v, s = resolve(HIGH, Strength.LOAD, LOW, Strength.PULL)
+        assert (v, s) == (LOW, Strength.PULL)  # ratioed: pulldown wins
+
+    def test_resolve_conflict_gives_unknown(self):
+        v, _ = resolve(HIGH, Strength.PULL, LOW, Strength.PULL)
+        assert v is UNKNOWN
+
+    def test_bool_conversions(self):
+        assert to_bool(from_bool(True))
+        with pytest.raises(ValueError):
+            to_bool(UNKNOWN)
+
+
+class TestGates:
+    @staticmethod
+    def settle_inputs(c, assignments):
+        for node, value in assignments.items():
+            c.set_input(node, value)
+        c.settle()
+
+    def test_inverter_truth_table(self):
+        c = Circuit()
+        inverter(c, "a", "out")
+        for a in (0, 1):
+            self.settle_inputs(c, {"a": a})
+            assert c.read_bool("out") == (not a)
+
+    def test_nand2_truth_table(self):
+        c = Circuit()
+        nand2(c, "a", "b", "out")
+        for a in (0, 1):
+            for b in (0, 1):
+                self.settle_inputs(c, {"a": a, "b": b})
+                assert c.read_bool("out") == (not (a and b)), (a, b)
+
+    def test_nand3_truth_table(self):
+        c = Circuit()
+        nand3(c, "a", "b", "d", "out")
+        for bits in range(8):
+            a, b, d = bits & 1, (bits >> 1) & 1, (bits >> 2) & 1
+            self.settle_inputs(c, {"a": a, "b": b, "d": d})
+            assert c.read_bool("out") == (not (a and b and d))
+
+    def test_nor2_truth_table(self):
+        c = Circuit()
+        nor2(c, "a", "b", "out")
+        for a in (0, 1):
+            for b in (0, 1):
+                self.settle_inputs(c, {"a": a, "b": b})
+                assert c.read_bool("out") == (not (a or b))
+
+    def test_xnor_truth_table(self):
+        c = Circuit()
+        inverter(c, "a", "ab")
+        inverter(c, "b", "bb")
+        xnor_from_rails(c, "a", "ab", "b", "bb", "out")
+        for a in (0, 1):
+            for b in (0, 1):
+                self.settle_inputs(c, {"a": a, "b": b})
+                assert c.read_bool("out") == (a == b)
+
+    def test_gate_composition(self):
+        """AND from NAND + inverter."""
+        c = Circuit()
+        nand2(c, "a", "b", "n")
+        inverter(c, "n", "out")
+        for a in (0, 1):
+            for b in (0, 1):
+                self.settle_inputs(c, {"a": a, "b": b})
+                assert c.read_bool("out") == (a and b)
+
+
+class TestPassTransistorsAndCharge:
+    def test_pass_transistor_conducts_when_gated(self):
+        c = Circuit()
+        pass_transistor(c, "g", "a", "b")
+        c.set_input("a", HIGH)
+        c.set_input("g", HIGH)
+        c.settle()
+        assert c.read("b") is HIGH
+
+    def test_charge_retained_when_isolated(self):
+        c = Circuit()
+        pass_transistor(c, "g", "a", "st")
+        inverter(c, "st", "out")
+        c.set_input("a", HIGH)
+        c.set_input("g", HIGH)
+        c.settle()
+        c.set_input("g", LOW)
+        c.settle()  # isolate first (gate and data must not race)
+        c.set_input("a", LOW)  # input changes; stored bit must not
+        c.settle()
+        assert c.read("st") is HIGH
+        assert c.read("out") is LOW
+
+    def test_charge_decays_after_retention(self):
+        c = Circuit(retention_ns=1000.0)
+        pass_transistor(c, "g", "a", "st")
+        c.set_input("a", HIGH)
+        c.set_input("g", HIGH)
+        c.settle()
+        c.set_input("g", LOW)
+        c.settle()
+        c.advance_time(2000.0)
+        c.settle()
+        assert c.read("st") is UNKNOWN
+
+    def test_strict_decay_raises(self):
+        from repro.circuit.simulator import settle
+
+        c = Circuit(retention_ns=1000.0)
+        pass_transistor(c, "g", "a", "st")
+        c.set_input("a", HIGH)
+        c.set_input("g", HIGH)
+        c.settle()
+        c.set_input("g", LOW)
+        c.settle()
+        c.advance_time(2000.0)
+        with pytest.raises(ChargeDecayError):
+            settle(c, strict_decay=True)
+
+    def test_refresh_resets_decay_clock(self):
+        c = Circuit(retention_ns=1000.0)
+        pass_transistor(c, "g", "a", "st")
+        c.set_input("a", HIGH)
+        for _ in range(5):
+            c.set_input("g", HIGH)
+            c.settle()
+            c.set_input("g", LOW)
+            c.settle()
+            c.advance_time(800.0)  # refreshed each cycle: never decays
+        c.settle()
+        assert c.read("st") is HIGH
+
+    def test_charge_sharing_conflict_is_unknown(self):
+        c = Circuit()
+        pass_transistor(c, "g1", "a", "n1")
+        pass_transistor(c, "g2", "b", "n2")
+        pass_transistor(c, "join", "n1", "n2")
+        c.set_input("a", HIGH)
+        c.set_input("b", LOW)
+        c.set_input("g1", HIGH)
+        c.set_input("g2", HIGH)
+        c.settle()
+        c.set_input("g1", LOW)
+        c.set_input("g2", LOW)
+        c.settle()
+        c.set_input("join", HIGH)  # share opposite charges
+        c.settle()
+        assert c.read("n1") is UNKNOWN
+        assert c.read("n2") is UNKNOWN
+
+
+class TestPathologies:
+    def test_ring_oscillator_detected(self):
+        c = Circuit("ring")
+        inverter(c, "a", "b")
+        inverter(c, "b", "c")
+        inverter(c, "c", "a")
+        c.set_input("a", HIGH)
+        c.settle()
+        c.release_input("a")
+        with pytest.raises(CircuitError):
+            c.settle(max_iterations=20)
+
+    def test_forced_node_fighting_its_own_pulldown_stays_local(self):
+        """A drive fight at one node must not poison the GND network:
+        the rail wins component resolution, the pin stays pinned."""
+        c = Circuit()
+        inverter(c, "a", "b")   # b fights: pulled low when a high
+        inverter(c, "x", "y")   # unrelated gate sharing the GND rail
+        c.set_input("a", HIGH)
+        c.set_input("b", HIGH)  # fight at b
+        c.set_input("x", HIGH)
+        c.settle()
+        assert c.read("y") is LOW  # unharmed by the fight at b
+
+    def test_vdd_gnd_short_reads_unknown(self):
+        c = Circuit()
+        c.add_enhancement("g", VDD, "n")
+        c.add_enhancement("g", "n", GND)
+        c.set_input("g", HIGH)
+        c.settle()
+        assert c.read("n") is UNKNOWN
+
+    def test_unknown_node_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().read("nowhere")
+
+    def test_bad_input_value_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().set_input("a", "banana")
+
+    def test_time_cannot_reverse(self):
+        with pytest.raises(CircuitError):
+            Circuit().advance_time(-1)
+
+
+class TestNetlistUtilities:
+    def test_device_count(self):
+        c = Circuit()
+        nand2(c, "a", "b", "out")
+        assert c.n_transistors == 3  # pullup + two pulldowns
+
+    def test_merge_instantiates_subcircuit(self):
+        sub = Circuit("inv")
+        inverter(sub, "in", "out")
+        top = Circuit("top")
+        m1 = top.merge(sub, prefix="u1.")
+        m2 = top.merge(sub, prefix="u2.", connections={"in": "u1.out"})
+        top.set_input("u1.in", LOW)
+        top.settle()
+        assert top.read_bool(m1["out"]) is True
+        assert top.read_bool(m2["out"]) is False

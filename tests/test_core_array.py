@@ -1,0 +1,113 @@
+"""The bidirectional array driver: feeding discipline and phasing."""
+
+import pytest
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.core.array import SystolicMatcherArray, TextToken
+from repro.errors import PatternError, SimulationError
+from repro.streams import RecirculatingPattern
+from repro.systolic.tracing import TraceRecorder
+
+
+def items_for(pattern, ab):
+    return RecirculatingPattern(parse_pattern(pattern, ab)).items
+
+
+class TestFeedingDiscipline:
+    def test_text_entry_beat_parity_lets_streams_meet(self, ab4):
+        """e_s = m + 1 always has parity (m-1) mod 2, the meet condition."""
+        for m in range(1, 9):
+            arr = SystolicMatcherArray(m)
+            assert arr.text_entry_beat() == m + 1
+            assert (arr.text_entry_beat() - (m - 1)) % 2 == 0
+
+    def test_pattern_enters_even_beats_only(self, ab4):
+        arr = SystolicMatcherArray(3)
+        sched = arr.input_schedule(items_for("ABC", ab4), [], 10)
+        for b, beat_in in enumerate(sched):
+            assert ("p" in beat_in) == (b % 2 == 0)
+
+    def test_text_enters_every_other_beat_after_fill(self, ab4):
+        arr = SystolicMatcherArray(3)
+        tokens = [TextToken(c, i) for i, c in enumerate("ABCD")]
+        sched = arr.input_schedule(items_for("ABC", ab4), tokens, 20)
+        text_beats = [b for b, s in enumerate(sched) if "s" in s]
+        assert text_beats == [4, 6, 8, 10]
+
+    def test_single_pass_pattern_offset(self, ab4):
+        arr = SystolicMatcherArray(2)
+        sched = arr.input_schedule(
+            items_for("AB", ab4), [], 20, recirculate=False, pattern_offset=3
+        )
+        p_beats = [b for b, s in enumerate(sched) if "p" in s]
+        assert p_beats == [6, 8]  # two items starting at pattern-beat 3
+
+    def test_beats_needed_covers_drain(self, ab4):
+        arr = SystolicMatcherArray(4)
+        n = arr.beats_needed(10)
+        assert n == (4 + 1) + 2 * 9 + 4 + 1
+
+
+class TestRunSemantics:
+    def test_every_complete_window_reported_once(self, ab4):
+        arr = SystolicMatcherArray(3)
+        raw = arr.run(items_for("ABC", ab4), "ABCABC")
+        assert set(raw) >= {2, 3, 4, 5}
+        assert raw[2] is True and raw[5] is True
+        assert raw[3] is False and raw[4] is False
+
+    def test_results_keyed_by_text_position(self, ab4):
+        arr = SystolicMatcherArray(2)
+        raw = arr.run(items_for("AA", ab4), "AAAA")
+        assert all(raw[q] for q in (1, 2, 3))
+
+    def test_bad_token_indices_rejected(self, ab4):
+        arr = SystolicMatcherArray(2)
+        with pytest.raises(SimulationError):
+            arr.run(items_for("AA", ab4), [TextToken("A", 5)])
+
+    def test_empty_pattern_cycle_rejected(self, ab4):
+        arr = SystolicMatcherArray(2)
+        with pytest.raises(PatternError):
+            arr.run([], "AA")
+
+    def test_oversized_array_every_window_still_once(self, ab4):
+        """m > L: each text char meets lambda several times; emissions
+        must agree so the surviving (leftmost) one is correct."""
+        for extra in (1, 2, 3):
+            arr = SystolicMatcherArray(2 + extra)
+            raw = arr.run(items_for("AB", ab4), "ABABAB")
+            want = match_oracle(parse_pattern("AB", ab4), list("ABABAB"))
+            got = [bool(raw.get(i, False)) if i >= 1 else False for i in range(6)]
+            assert got == want
+
+
+class TestTracing:
+    def test_recorder_sees_alternating_activity(self, ab4):
+        rec = TraceRecorder()
+        arr = SystolicMatcherArray(4, recorder=rec)
+        arr.run(items_for("ABCD", ab4), "ABCDABCD")
+        activity = rec.activity_matrix()
+        # in any beat, active cells never adjacent (alternate cells idle)
+        for row in activity:
+            for i in range(len(row) - 1):
+                assert not (row[i] and row[i + 1])
+
+    def test_meetings_follow_figure_3_2(self, ab4):
+        """Each cell meets (p_j, s_{i+j}) in sequence: after meeting p_j
+        with s_q, the same cell's next meeting is (p_{j+1}, s_{q+1})."""
+        rec = TraceRecorder()
+        arr = SystolicMatcherArray(3, recorder=rec)
+        arr.run(items_for("ABC", ab4), "ABCABC")
+        per_cell = {}
+        for beat, cell, p, s in rec.meetings("p", "s"):
+            per_cell.setdefault(cell, []).append((beat, p.char, s.index))
+        for cell, ms in per_cell.items():
+            for (b1, _, q1), (b2, _, q2) in zip(ms, ms[1:]):
+                assert b2 - b1 == 2          # active on alternate beats
+                assert q2 - q1 == 1          # consecutive text chars
+
+    def test_utilization_at_most_half(self, ab4):
+        arr = SystolicMatcherArray(3)
+        arr.run(items_for("ABC", ab4), "ABCABCABC")
+        assert arr.utilization() <= 0.5 + 1e-9

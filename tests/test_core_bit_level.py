@@ -1,0 +1,92 @@
+"""The bit-pipelined matcher of Figure 3-4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet, BitLevelMatcher, PatternMatcher, match_oracle
+from repro.errors import PatternError
+
+from conftest import AB2, AB4, patterns, texts
+
+
+class TestFigure34Structure:
+    def test_rows_equal_character_bits(self, ab4):
+        assert BitLevelMatcher("AXC", ab4).w == 2
+        assert BitLevelMatcher("A", Alphabet("ABCDEFGH")).w == 3
+
+    def test_checkerboard_activity(self, ab4):
+        """Active comparators form the Figure 3-4 checkerboard: no two
+        orthogonally adjacent comparators fire on the same beat."""
+        m = BitLevelMatcher("ABC", ab4, record_checkerboard=True)
+        m.match("ABCABCAB")
+        assert len(m.checkerboard) > 0
+        assert m.checkerboard_ok()
+
+    def test_steady_state_has_active_cells_every_beat(self, ab4):
+        m = BitLevelMatcher("ABC", ab4, record_checkerboard=True)
+        m.match("ABCABCAB")
+        mid = m.checkerboard[len(m.checkerboard) // 2]
+        assert any(any(row) for row in mid.active)
+
+
+class TestCorrectness:
+    def test_paper_example(self, ab4):
+        m = BitLevelMatcher("AXC", ab4)
+        text = "ABCAACACCAB"
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    def test_agrees_with_char_level(self, ab4):
+        text = "ABCDABCDABCD"
+        for pattern in ("A", "AB", "XBC", "DDX"):
+            bit = BitLevelMatcher(pattern, ab4).match(text)
+            char = PatternMatcher(pattern, ab4).match(text)
+            assert bit == char, pattern
+
+    def test_single_bit_alphabet(self, ab2):
+        m = BitLevelMatcher("AB", ab2)
+        assert m.match("AABB") == [False, False, True, False]
+
+    def test_wide_alphabet(self):
+        ab8 = Alphabet("ABCDEFGH")  # 3-bit characters
+        m = BitLevelMatcher("AXH", ab8)
+        text = "ABHAHHGAH"
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    def test_oversized_array(self, ab4):
+        m = BitLevelMatcher("AB", ab4, n_cells=5)
+        text = "ABABAB"
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    def test_empty_text(self, ab4):
+        assert BitLevelMatcher("AB", ab4).match("") == []
+
+    def test_matcher_reusable(self, ab4):
+        m = BitLevelMatcher("AB", ab4)
+        assert m.match("ABAB") == m.match("ABAB")
+
+    def test_pattern_must_fit(self, ab4):
+        with pytest.raises(PatternError):
+            BitLevelMatcher("ABC", ab4, n_cells=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(max_len=4), text=texts(max_len=16),
+           extra=st.integers(0, 2))
+    def test_matches_oracle(self, pattern, text, extra):
+        m = BitLevelMatcher(pattern, AB4, n_cells=len(pattern) + extra)
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    @settings(max_examples=20, deadline=None)
+    @given(pattern=patterns(symbols="AB", max_len=4),
+           text=texts(symbols="AB", max_len=14))
+    def test_matches_oracle_one_bit(self, pattern, text):
+        m = BitLevelMatcher(pattern, AB2)
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+
+class TestLatency:
+    def test_accumulator_schedule_is_char_level_plus_w(self, ab4):
+        """The bit-level machine's results exit exactly w beats after the
+        character-level machine's: beats_needed reflects the extra rows."""
+        bit = BitLevelMatcher("ABC", ab4)
+        assert bit.beats_needed(10) == bit.text_entry_beat() + 2 * 9 + bit.w + bit.m + 2

@@ -1,0 +1,106 @@
+"""The comparator and accumulator cell algorithms in isolation."""
+
+from repro.core.cells import AccumulatorCell, ComparatorCell, MatcherCellKernel, ResultToken
+from repro.core.array import TextToken
+from repro.streams import PatternStreamItem
+
+
+class TestComparatorCell:
+    def test_equality(self):
+        c = ComparatorCell()
+        assert c.compare("A", "A")
+        assert not c.compare("A", "B")
+
+
+class TestAccumulatorCell:
+    def test_powers_on_true(self):
+        assert AccumulatorCell().t is True
+
+    def test_accumulates_conjunction(self):
+        a = AccumulatorCell()
+        assert a.absorb(True, False, False) is None
+        assert a.t is True
+        a.absorb(False, False, False)
+        assert a.t is False
+
+    def test_wildcard_overrides_mismatch(self):
+        a = AccumulatorCell()
+        a.absorb(False, True, False)  # d=0 but x=1 -> ignored
+        assert a.t is True
+
+    def test_lambda_emits_and_reinitialises(self):
+        a = AccumulatorCell()
+        a.absorb(True, False, False)
+        emitted = a.absorb(True, False, True)
+        assert isinstance(emitted, ResultToken)
+        assert emitted.value is True
+        assert a.t is True  # t <- TRUE
+
+    def test_lambda_emission_includes_current_beat(self):
+        """The end-of-pattern comparison participates in the emitted t."""
+        a = AccumulatorCell()
+        a.absorb(True, False, False)
+        emitted = a.absorb(False, False, True)  # mismatch on the last char
+        assert emitted.value is False
+
+    def test_failure_does_not_leak_across_patterns(self):
+        a = AccumulatorCell()
+        a.absorb(False, False, True)   # emits False, resets
+        emitted = a.absorb(True, False, True)
+        assert emitted.value is True
+
+    def test_reset(self):
+        a = AccumulatorCell()
+        a.absorb(False, False, False)
+        a.reset()
+        assert a.t is True
+
+
+class TestMatcherCellKernel:
+    @staticmethod
+    def fire(kernel, p_char, s_char, wild=False, last=False, r=None):
+        return kernel.fire(
+            {
+                "p": PatternStreamItem(p_char, wild, last),
+                "s": TextToken(s_char, 0),
+                "r": r,
+            }
+        )
+
+    def test_passes_streams_through(self):
+        k = MatcherCellKernel()
+        out = self.fire(k, "A", "B")
+        assert out["p"].char == "A"
+        assert out["s"].char == "B"
+
+    def test_no_result_until_lambda(self):
+        k = MatcherCellKernel()
+        out = self.fire(k, "A", "A")
+        assert "r" not in out
+
+    def test_result_on_lambda(self):
+        k = MatcherCellKernel()
+        self.fire(k, "A", "A")
+        out = self.fire(k, "B", "B", last=True)
+        assert out["r"].value is True
+
+    def test_state_snapshot_exposes_t_and_d(self):
+        k = MatcherCellKernel()
+        self.fire(k, "A", "B")
+        snap = k.state_snapshot()
+        assert snap["d"] is False
+        assert snap["t"] is False
+
+    def test_reset(self):
+        k = MatcherCellKernel()
+        self.fire(k, "A", "B")
+        k.reset()
+        assert k.accumulator.t is True
+        assert k.last_d is None
+
+
+class TestResultToken:
+    def test_str_forms(self):
+        assert str(ResultToken(True)) == "1"
+        assert str(ResultToken(False)) == "0"
+        assert str(ResultToken(7)) == "7"

@@ -1,0 +1,113 @@
+"""The character-level matcher against the Section 3.1 definition.
+
+Includes the paper's own worked example (Figure 3-1) and property-based
+equivalence with the oracle over random patterns, wildcard placements,
+texts, and array sizes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet, PatternMatcher, match_oracle, parse_pattern
+from repro.errors import AlphabetError, PatternError
+
+from conftest import AB2, AB4, patterns, texts
+
+
+class TestFigure31Example:
+    """Pattern AXC against the text of Figure 3-1: matches ABC, AAC, ACC."""
+
+    def test_exact_paper_text_r2_r5_r6(self, ab4):
+        """Figure 3-1 verbatim: text ABCAACC, matches end at 2, 5, 6."""
+        m = PatternMatcher("AXC", ab4)
+        assert m.match("ABCAACC") == [
+            False, False, True, False, False, True, True
+        ]
+
+    def test_paper_example(self, ab4):
+        m = PatternMatcher("AXC", ab4)
+        text = "ABCAACACCAB"
+        results = m.match(text)
+        assert [i for i, r in enumerate(results) if r] == [2, 5, 8]
+        # every flagged window really matches A?C
+        for i in m.report(text).match_positions:
+            window = text[i - 2 : i + 1]
+            assert window[0] == "A" and window[2] == "C"
+
+    def test_incomplete_windows_report_false(self, ab4):
+        m = PatternMatcher("AXC", ab4)
+        assert m.match("AB") == [False, False]
+
+    def test_find_returns_start_positions(self, ab4):
+        m = PatternMatcher("AXC", ab4)
+        assert m.find("ABCAAC") == [0, 3]
+
+
+class TestBasicBehaviour:
+    def test_single_char_pattern(self, ab4):
+        m = PatternMatcher("B", ab4)
+        assert m.match("ABBA") == [False, True, True, False]
+
+    def test_all_wildcards_match_everything(self, ab4):
+        m = PatternMatcher("XX", ab4)
+        assert m.match("ABCD") == [False, True, True, True]
+
+    def test_empty_text(self, ab4):
+        assert PatternMatcher("AB", ab4).match("") == []
+
+    def test_pattern_longer_than_text(self, ab4):
+        assert PatternMatcher("ABCD", ab4).match("AB") == [False, False]
+
+    def test_oversized_array_still_correct(self, ab4):
+        m = PatternMatcher("AB", ab4, n_cells=7)
+        assert m.match("CABAB") == [False, False, True, False, True]
+
+    def test_pattern_must_fit_array(self, ab4):
+        with pytest.raises(PatternError):
+            PatternMatcher("ABCD", ab4, n_cells=3)
+
+    def test_invalid_text_character_rejected(self, ab4):
+        with pytest.raises(AlphabetError):
+            PatternMatcher("AB", ab4).match("AZ")
+
+    def test_matcher_is_reusable(self, ab4):
+        m = PatternMatcher("AB", ab4)
+        first = m.match("ABAB")
+        second = m.match("ABAB")
+        assert first == second == [False, True, False, True]
+
+    def test_pattern_string_property(self, ab4):
+        assert PatternMatcher("AXC", ab4).pattern_string == "AXC"
+        assert PatternMatcher("AXC", ab4).pattern_length == 3
+
+
+class TestReport:
+    def test_report_statistics(self, ab4):
+        rep = PatternMatcher("AXC", ab4).report("ABCAACACCAB")
+        assert rep.beats > 0
+        assert 0 < rep.utilization <= 0.5 + 1e-9
+        assert rep.match_positions == [2, 5, 8]
+
+    def test_utilization_approaches_half_on_long_texts(self, ab4):
+        m = PatternMatcher("ABCD", ab4)
+        rep = m.report("ABCD" * 100)
+        assert 0.35 < rep.utilization <= 0.5
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(pattern=patterns(), text=texts(), extra=st.integers(0, 4))
+    def test_matches_oracle(self, pattern, text, extra):
+        m = PatternMatcher(pattern, AB4, n_cells=len(pattern) + extra)
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(symbols="AB", wildcards=False, max_len=4),
+           text=texts(symbols="AB", max_len=20))
+    def test_matches_oracle_binary_alphabet(self, pattern, text):
+        m = PatternMatcher(pattern, AB2)
+        assert m.match(text) == match_oracle(m.pattern, list(text))
+
+    def test_verify_against_oracle_helper(self, ab4):
+        assert PatternMatcher("AXC", ab4).verify_against_oracle("ABCAACACCAB")

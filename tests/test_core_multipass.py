@@ -1,0 +1,67 @@
+"""The Section 3.4 multipass scheme for patterns longer than the array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import match_oracle, multipass_match, parse_pattern
+from repro.core.multipass import runs_required
+from repro.errors import PatternError
+
+from conftest import AB4, patterns, texts
+
+
+class TestMultipass:
+    def test_pattern_three_times_array_size(self, ab4):
+        pattern = parse_pattern("ABCDAB", ab4)
+        text = "ABCDABCDABCDAB"
+        got = multipass_match(pattern, list(text), n_cells=2)
+        assert got == match_oracle(pattern, list(text))
+
+    def test_single_cell_system(self, ab4):
+        """Even one cell suffices, one window per pass."""
+        pattern = parse_pattern("AXC", ab4)
+        text = "ABCAACACCAB"
+        got = multipass_match(pattern, list(text), n_cells=1)
+        assert got == match_oracle(pattern, list(text))
+
+    def test_array_larger_than_pattern_also_fine(self, ab4):
+        pattern = parse_pattern("AB", ab4)
+        got = multipass_match(pattern, list("ABAB"), n_cells=6)
+        assert got == match_oracle(pattern, list("ABAB"))
+
+    def test_empty_text(self, ab4):
+        assert multipass_match(parse_pattern("AB", ab4), [], 2) == []
+
+    def test_text_shorter_than_pattern(self, ab4):
+        pattern = parse_pattern("ABCD", ab4)
+        assert multipass_match(pattern, list("AB"), 2) == [False, False]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            multipass_match([], list("AB"), 2)
+
+    def test_nonpositive_cells_rejected(self, ab4):
+        with pytest.raises(PatternError):
+            multipass_match(parse_pattern("AB", ab4), list("AB"), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pattern=patterns(max_len=8), text=texts(max_len=24),
+           cells=st.integers(1, 5))
+    def test_matches_oracle(self, pattern, text, cells):
+        pcs = parse_pattern(pattern, AB4)
+        got = multipass_match(pcs, list(text), cells)
+        assert got == match_oracle(pcs, list(text))
+
+
+class TestRunAccounting:
+    def test_each_run_covers_n_windows(self):
+        """'each run will match the complete pattern against n substrings'"""
+        # 20 complete windows, 5 cells -> 4 runs
+        assert runs_required(pattern_length=5, text_length=24, n_cells=5) == 4
+
+    def test_partial_final_run(self):
+        assert runs_required(pattern_length=5, text_length=22, n_cells=5) == 4
+
+    def test_no_windows_no_runs(self):
+        assert runs_required(pattern_length=10, text_length=5, n_cells=4) == 0

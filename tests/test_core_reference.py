@@ -1,0 +1,66 @@
+"""The oracles themselves: direct checks of the Section 3.1 definitions."""
+
+import numpy as np
+import pytest
+
+from repro import Alphabet, count_oracle, match_oracle, parse_pattern
+from repro.core.reference import correlation_oracle
+from repro.errors import PatternError
+
+
+class TestMatchOracle:
+    def test_definition_by_hand(self, ab4):
+        # r_i = AND over the window ending at i
+        pcs = parse_pattern("AB", ab4)
+        assert match_oracle(pcs, list("CABAB")) == [False, False, True, False, True]
+
+    def test_wildcard_matches_anything(self, ab4):
+        pcs = parse_pattern("X", ab4)
+        assert match_oracle(pcs, list("ABCD")) == [True] * 4
+
+    def test_positions_before_k_false(self, ab4):
+        pcs = parse_pattern("AAAA", ab4)
+        assert match_oracle(pcs, list("AAAAA")) == [False] * 3 + [True, True]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            match_oracle([], list("AB"))
+
+
+class TestCountOracle:
+    def test_counts_matching_positions(self, ab4):
+        pcs = parse_pattern("AXC", ab4)
+        counts = count_oracle(pcs, list("ABCAACACC"))
+        # window ending at 2 = ABC vs AXC: A yes, wild yes, C yes -> 3
+        assert counts[2] == 3
+        # window ending at 3 = BCA: B!=A no, wild yes, A!=C no -> 1
+        assert counts[3] == 1
+
+    def test_incomplete_windows_zero(self, ab4):
+        pcs = parse_pattern("ABC", ab4)
+        assert count_oracle(pcs, list("AB")) == [0, 0]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            count_oracle([], list("AB"))
+
+
+class TestCorrelationOracle:
+    def test_matches_numpy_formulation(self):
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=4)
+        s = rng.normal(size=12)
+        got = correlation_oracle(p, s)
+        for i in range(3, 12):
+            window = s[i - 3 : i + 1]
+            assert got[i] == pytest.approx(float(np.sum((window - p) ** 2)))
+
+    def test_perfect_match_scores_zero(self):
+        p = [1.0, -2.0, 3.0]
+        s = [0.0, 1.0, -2.0, 3.0, 0.0]
+        got = correlation_oracle(p, s)
+        assert got[3] == pytest.approx(0.0)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            correlation_oracle([], [1.0])

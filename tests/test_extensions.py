@@ -1,0 +1,137 @@
+"""The Section 3.4 extension machines: counting, correlation,
+convolution, FIR, and the generic linear-product family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import count_oracle, parse_pattern
+from repro.core.reference import correlation_oracle
+from repro.errors import PatternError
+from repro.extensions import (
+    CorrelationMachine,
+    CountingMachine,
+    LinearProductMachine,
+    systolic_convolution,
+    systolic_correlation,
+    systolic_fir,
+    systolic_inner_products,
+    systolic_match_counts,
+)
+from repro.extensions.fir import fir_oracle
+from repro.extensions.linear_products import (
+    COUNTING,
+    INNER_PRODUCT,
+    MATCHING,
+    MIN_PLUS,
+    SQUARED_DISTANCE,
+    linear_product_oracle,
+)
+
+from conftest import AB4, patterns, texts
+
+floats = st.floats(min_value=-5, max_value=5, allow_nan=False, width=32)
+
+
+class TestCounting:
+    def test_paper_semantics(self, ab4):
+        counts = systolic_match_counts("AXC", "ABCAACACC", ab4)
+        assert counts == count_oracle(parse_pattern("AXC", ab4), list("ABCAACACC"))
+
+    def test_wildcards_always_count(self, ab4):
+        counts = systolic_match_counts("XX", "AB", ab4)
+        assert counts == [0, 2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(pattern=patterns(max_len=5), text=texts(max_len=20))
+    def test_matches_oracle(self, pattern, text):
+        got = systolic_match_counts(pattern, text, AB4)
+        assert got == count_oracle(parse_pattern(pattern, AB4), list(text))
+
+    def test_machine_reusable(self, ab4):
+        m = CountingMachine("AB", ab4)
+        assert m.counts("ABAB") == m.counts("ABAB")
+
+    def test_pattern_must_fit(self, ab4):
+        with pytest.raises(PatternError):
+            CountingMachine("ABC", ab4, n_cells=2)
+
+
+class TestCorrelation:
+    def test_perfect_match_scores_zero(self):
+        m = CorrelationMachine([1.0, 2.0, 3.0])
+        out = m.correlate([0.0, 1.0, 2.0, 3.0, 9.0])
+        assert out[3] == pytest.approx(0.0)
+        assert out[4] > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=st.lists(floats, min_size=1, max_size=4),
+           signal=st.lists(floats, min_size=0, max_size=15))
+    def test_matches_oracle(self, pattern, signal):
+        got = systolic_correlation(pattern, signal)
+        want = correlation_oracle(pattern, signal)
+        assert np.allclose(got, want)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            CorrelationMachine([])
+
+
+class TestConvolutionAndFIR:
+    @settings(max_examples=25, deadline=None)
+    @given(kernel=st.lists(floats, min_size=1, max_size=4),
+           signal=st.lists(floats, min_size=1, max_size=12))
+    def test_convolution_matches_numpy(self, kernel, signal):
+        got = systolic_convolution(kernel, signal)
+        assert np.allclose(got, np.convolve(kernel, signal), atol=1e-6)
+
+    def test_convolution_empty_signal(self):
+        assert systolic_convolution([1.0], []) == []
+
+    def test_convolution_empty_kernel_rejected(self):
+        with pytest.raises(PatternError):
+            systolic_convolution([], [1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(taps=st.lists(floats, min_size=1, max_size=4),
+           signal=st.lists(floats, min_size=0, max_size=12))
+    def test_fir_matches_direct_form(self, taps, signal):
+        assert np.allclose(systolic_fir(taps, signal), fir_oracle(taps, signal),
+                           atol=1e-6)
+
+    def test_fir_impulse_response_is_taps(self):
+        taps = [0.5, -1.0, 2.0]
+        impulse = [1.0, 0.0, 0.0, 0.0]
+        assert np.allclose(systolic_fir(taps, impulse), taps + [0.0])
+
+    def test_inner_products_window_alignment(self):
+        out = systolic_inner_products([1.0, 1.0], [1.0, 2.0, 3.0])
+        assert out == [0.0, 3.0, 5.0]
+
+
+class TestLinearProducts:
+    @pytest.mark.parametrize(
+        "semiring", [MATCHING, COUNTING, SQUARED_DISTANCE, INNER_PRODUCT, MIN_PLUS],
+        ids=lambda s: s.name,
+    )
+    def test_machine_equals_definition(self, semiring):
+        pattern = [1, 2, 0]
+        stream = [0, 1, 2, 0, 1, 2, 2, 1]
+        m = LinearProductMachine(pattern, semiring)
+        assert m.run(stream) == linear_product_oracle(pattern, stream, semiring)
+
+    def test_matching_instance_is_string_matching(self):
+        m = LinearProductMachine(list("AB"), MATCHING, incomplete=False)
+        assert m.run(list("CABAB")) == [False, False, True, False, True]
+
+    def test_min_plus_identity_is_infinity(self):
+        assert MIN_PLUS.identity == float("inf")
+
+    def test_pattern_must_fit(self):
+        with pytest.raises(PatternError):
+            LinearProductMachine([1, 2, 3], INNER_PRODUCT, n_cells=2)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            LinearProductMachine([], INNER_PRODUCT)

@@ -1,0 +1,135 @@
+"""The Figure 1-1 host system and its three devices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet
+from repro.chip.chip import ChipSpec
+from repro.errors import HostError
+from repro.host import HostBus, HostSpec, HostSystem
+from repro.host.devices import FFTDevice, PatternMatcherDevice, SystolicSorterDevice
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+
+
+class TestHostModel:
+    def test_1979_memory_cannot_feed_the_chip(self):
+        """The headline claim: 250 ns/char exceeds the memory bandwidth of
+        most conventional computers."""
+        bus = HostBus(HostSpec())  # 600 ns cycle, 2-byte words
+        assert bus.is_device_starved(250.0)
+
+    def test_fast_mainframe_can_feed_it(self):
+        fast = HostSpec(name="mainframe", memory_cycle_ns=100.0, bytes_per_word=8)
+        assert not HostBus(fast).is_device_starved(250.0)
+
+    def test_transfer_paced_by_slower_side(self):
+        bus = HostBus(HostSpec(memory_cycle_ns=600.0, bytes_per_word=2))
+        elapsed = bus.transfer(100, device_beat_ns=250.0)
+        assert elapsed == pytest.approx(100 * 300.0)  # memory-bound
+        elapsed = bus.transfer(100, device_beat_ns=400.0)
+        assert elapsed == pytest.approx(100 * 400.0)  # device-bound
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(HostError):
+            HostBus(HostSpec()).transfer(-1, 250.0)
+
+    def test_software_match_time_scales_with_pattern(self):
+        h = HostSpec()
+        assert h.software_match_time_ns(100, 8) == 2 * h.software_match_time_ns(100, 4)
+
+
+class TestSorterDevice:
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.lists(floats, max_size=32))
+    def test_sorts(self, keys):
+        dev = SystolicSorterDevice(n_cells=32)
+        assert dev.process(keys) == sorted(float(k) for k in keys)
+
+    def test_capacity_enforced(self):
+        dev = SystolicSorterDevice(n_cells=4)
+        with pytest.raises(HostError):
+            dev.process([1.0] * 5)
+
+    def test_linear_beat_cost(self):
+        dev = SystolicSorterDevice(n_cells=64)
+        assert dev.beats_for(50) == 100  # N in + N out
+
+    def test_duplicates_and_reverse_order(self):
+        dev = SystolicSorterDevice(n_cells=8)
+        assert dev.process([3, 3, 2, 1, 1]) == [1.0, 1.0, 2.0, 3.0, 3.0]
+
+
+class TestFFTDevice:
+    @settings(max_examples=20, deadline=None)
+    @given(signal=st.lists(floats, min_size=16, max_size=16))
+    def test_matches_numpy(self, signal):
+        dev = FFTDevice(block_size=16)
+        got = np.array(dev.process(signal))
+        assert np.allclose(got, np.fft.fft(signal), atol=1e-6)
+
+    def test_blocks_and_padding(self):
+        dev = FFTDevice(block_size=8)
+        out = dev.process([1.0] * 12)  # 1.5 blocks -> zero-padded
+        assert len(out) == 16
+        want = np.concatenate([np.fft.fft([1.0] * 8),
+                               np.fft.fft([1.0] * 4 + [0.0] * 4)])
+        assert np.allclose(np.array(out), want, atol=1e-6)
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(HostError):
+            FFTDevice(block_size=12)
+
+    def test_beat_accounting_includes_pipeline_latency(self):
+        dev = FFTDevice(block_size=64)
+        assert dev.beats_for(64) == 64 + 6
+        assert dev.beats_for(0) == 0
+
+    def test_empty_stream(self):
+        assert FFTDevice(block_size=8).process([]) == []
+
+
+class TestHostSystem:
+    def build(self):
+        system = HostSystem(HostSpec())
+        system.attach(SystolicSorterDevice(n_cells=16))
+        system.attach(FFTDevice(block_size=8))
+        matcher = PatternMatcherDevice(ChipSpec(4, 2), Alphabet("ABCD"))
+        matcher.load_pattern("AB")
+        system.attach(matcher)
+        return system
+
+    def test_figure_1_1_three_devices(self):
+        system = self.build()
+        assert set(system.devices) == {"sorter", "fft", "pattern-matcher"}
+
+    def test_jobs_accounted(self):
+        system = self.build()
+        system.run("sorter", [3.0, 1.0, 2.0])
+        system.run("pattern-matcher", "ABAB")
+        assert len(system.jobs) == 2
+        assert system.total_device_time_ns() > 0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(HostError):
+            self.build().run("ghost", [])
+
+    def test_duplicate_attachment_rejected(self):
+        system = self.build()
+        with pytest.raises(HostError):
+            system.attach(SystolicSorterDevice())
+
+    def test_detach(self):
+        system = self.build()
+        system.detach("sorter")
+        with pytest.raises(HostError):
+            system.run("sorter", [])
+        with pytest.raises(HostError):
+            system.detach("sorter")
+
+    def test_matcher_device_requires_pattern(self):
+        dev = PatternMatcherDevice(ChipSpec(4, 2), Alphabet("ABCD"))
+        with pytest.raises(HostError):
+            dev.process("AB")

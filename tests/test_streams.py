@@ -1,0 +1,106 @@
+"""Bus protocol: beats, words, recirculation, interleaving."""
+
+import pytest
+
+from repro import Alphabet, parse_pattern
+from repro.errors import StreamError
+from repro.streams import (
+    Beat,
+    BusWord,
+    RecirculatingPattern,
+    ResultStream,
+    WordKind,
+    alternating_schedule,
+    interleave,
+)
+
+
+@pytest.fixture
+def axc_items():
+    return RecirculatingPattern(parse_pattern("AXC", Alphabet("ABCD")))
+
+
+class TestBeat:
+    def test_pattern_and_text_beats_alternate(self):
+        assert Beat(0).is_pattern_beat
+        assert Beat(1).is_text_beat
+        assert Beat(2).is_pattern_beat
+
+    def test_next(self):
+        assert Beat(3).next() == Beat(4)
+
+
+class TestRecirculatingPattern:
+    def test_lambda_marks_only_last(self, axc_items):
+        flags = [it.is_last for it in axc_items.items]
+        assert flags == [False, False, True]
+
+    def test_wild_bit_travels_with_pattern(self, axc_items):
+        assert [it.is_wild for it in axc_items.items] == [False, True, False]
+
+    def test_recirculation_period(self, axc_items):
+        taken = axc_items.take(7)
+        assert [t.char for t in taken] == ["A", "A", "C", "A", "A", "C", "A"]
+        assert [t.is_last for t in taken] == [False, False, True] * 2 + [False]
+
+    def test_take_negative_rejected(self, axc_items):
+        with pytest.raises(StreamError):
+            axc_items.take(-1)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(StreamError):
+            RecirculatingPattern([])
+
+    def test_infinite_iteration(self, axc_items):
+        it = iter(axc_items)
+        chars = [next(it).char for _ in range(9)]
+        assert chars == ["A", "A", "C"] * 3
+
+
+class TestInterleave:
+    def test_alternating_kinds(self, axc_items):
+        words = interleave(iter(axc_items), iter("AB"), 6)
+        kinds = [w.kind for w in words]
+        assert kinds == [
+            WordKind.PATTERN, WordKind.TEXT,
+            WordKind.PATTERN, WordKind.TEXT,
+            WordKind.PATTERN, WordKind.IDLE,
+        ]
+
+    def test_exhausted_streams_become_idle(self):
+        words = interleave(iter(()), iter(()), 4)
+        assert all(w.kind is WordKind.IDLE for w in words)
+
+    def test_negative_beats_rejected(self):
+        with pytest.raises(StreamError):
+            interleave(iter(()), iter(()), -1)
+
+    def test_idle_word_payload_is_none(self):
+        assert BusWord.idle().payload is None
+
+
+class TestAlternatingSchedule:
+    def test_balanced(self):
+        kinds = alternating_schedule(2, 2)
+        assert kinds == [
+            WordKind.PATTERN, WordKind.TEXT, WordKind.PATTERN, WordKind.TEXT
+        ]
+
+    def test_unbalanced_drains_longer_stream(self):
+        kinds = alternating_schedule(1, 3)
+        assert kinds.count(WordKind.PATTERN) == 1
+        assert kinds.count(WordKind.TEXT) == 3
+
+    def test_total_length(self):
+        assert len(alternating_schedule(5, 9)) == 14
+
+
+class TestResultStream:
+    def test_records(self):
+        rs = ResultStream()
+        rs.record_raw(None)
+        rs.record_result(True)
+        rs.record_result(0)
+        assert rs.results == [True, False]
+        assert len(rs) == 2
+        assert len(rs.raw_slots) == 1

@@ -1,0 +1,152 @@
+"""The generic beat-synchronous array engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.systolic import (
+    BUBBLE,
+    CellKernel,
+    ChannelDirection,
+    ChannelSpec,
+    LinearArray,
+    PassThroughKernel,
+    TraceRecorder,
+    is_bubble,
+)
+from repro.systolic.cell import FunctionKernel, all_valid
+
+
+RIGHT = ChannelSpec("a", ChannelDirection.RIGHT)
+LEFT = ChannelSpec("b", ChannelDirection.LEFT)
+
+
+def passthrough_array(n, recorder=None):
+    return LinearArray(
+        n, [RIGHT, LEFT], lambda i: PassThroughKernel(), ("a",), recorder=recorder
+    )
+
+
+class TestShifting:
+    def test_rightward_transit_takes_n_beats(self):
+        arr = passthrough_array(3)
+        outs = [arr.step({"a": "x"})]
+        for _ in range(5):
+            outs.append(arr.step({}))
+        values = [o["a"] for o in outs]
+        assert values[:3] == [BUBBLE] * 3
+        assert values[3] == "x"
+
+    def test_leftward_transit(self):
+        arr = passthrough_array(4)
+        outs = [arr.step({"b": "y"})]
+        for _ in range(5):
+            outs.append(arr.step({}))
+        assert [o["b"] for o in outs][4] == "y"
+
+    def test_stream_order_preserved(self):
+        arr = passthrough_array(2)
+        seen = []
+        for i in range(8):
+            out = arr.step({"a": i})
+            if not is_bubble(out["a"]):
+                seen.append(out["a"])
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_opposing_streams_do_not_interfere(self):
+        arr = passthrough_array(3)
+        a_out, b_out = [], []
+        for i in range(12):
+            out = arr.step({"a": f"a{i}", "b": f"b{i}"})
+            if not is_bubble(out["a"]):
+                a_out.append(out["a"])
+            if not is_bubble(out["b"]):
+                b_out.append(out["b"])
+        assert a_out == [f"a{i}" for i in range(9)]
+        assert b_out == [f"b{i}" for i in range(9)]
+
+
+class TestFiring:
+    def test_kernel_fires_only_when_activity_channels_valid(self):
+        fires = []
+
+        class Spy(CellKernel):
+            def fire(self, inputs):
+                fires.append(dict(inputs))
+                return {}
+
+        arr = LinearArray(1, [RIGHT, LEFT], lambda i: Spy(), ("a", "b"))
+        arr.step({"a": 1})           # b missing -> idle
+        arr.step({"b": 2})           # a missing -> idle
+        arr.step({"a": 3, "b": 4})   # both -> fires
+        assert len(fires) == 1
+        assert fires[0] == {"a": 3, "b": 4}
+
+    def test_kernel_output_replaces_slot(self):
+        double = FunctionKernel(lambda ins: {"a": ins["a"] * 2})
+        arr = LinearArray(2, [RIGHT, LEFT], lambda i: double, ("a",))
+        arr.step({"a": 3})
+        out = arr.step({})
+        out = arr.step({})
+        assert out["a"] == 12  # doubled in each of the two cells
+
+    def test_kernel_cannot_emit_bubble(self):
+        bad = FunctionKernel(lambda ins: {"a": BUBBLE})
+        arr = LinearArray(1, [RIGHT], lambda i: bad, ("a",))
+        with pytest.raises(SimulationError):
+            arr.step({"a": 1})
+
+    def test_kernel_cannot_emit_unknown_channel(self):
+        bad = FunctionKernel(lambda ins: {"zz": 1})
+        arr = LinearArray(1, [RIGHT], lambda i: bad, ("a",))
+        with pytest.raises(SimulationError):
+            arr.step({"a": 1})
+
+
+class TestConstruction:
+    def test_zero_cells_rejected(self):
+        with pytest.raises(SimulationError):
+            passthrough_array(0)
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(SimulationError):
+            LinearArray(1, [RIGHT, RIGHT], lambda i: PassThroughKernel(), ("a",))
+
+    def test_unknown_activity_channel_rejected(self):
+        with pytest.raises(SimulationError):
+            LinearArray(1, [RIGHT], lambda i: PassThroughKernel(), ("zz",))
+
+
+class TestStats:
+    def test_utilization_counts_fires(self):
+        arr = passthrough_array(2)
+        for i in range(10):
+            arr.step({"a": i})
+        assert arr.beat == 10
+        assert 0 < arr.utilization() <= 1.0
+
+    def test_reset_restores_power_on_state(self):
+        arr = passthrough_array(2)
+        arr.step({"a": 1})
+        arr.reset()
+        assert arr.beat == 0
+        assert arr.fire_count == 0
+        assert all(is_bubble(v) for v in arr.slots["a"])
+
+    def test_occupancy_between_zero_and_one(self):
+        arr = passthrough_array(4)
+        for i in range(8):
+            arr.step({"a": i, "b": i})
+        assert 0 < arr.occupancy() <= 1.0
+
+
+class TestHelpers:
+    def test_all_valid(self):
+        assert all_valid({"x": 1, "y": 2}, ("x", "y"))
+        assert not all_valid({"x": 1, "y": BUBBLE}, ("x", "y"))
+
+    def test_bubble_is_falsy_singleton(self):
+        assert not BUBBLE
+        assert repr(BUBBLE) == "BUBBLE"
+        from repro.systolic.cell import _Bubble
+
+        assert _Bubble() is BUBBLE

@@ -1,0 +1,106 @@
+"""The self-timed (asynchronous) array of Section 3.3.2."""
+
+import random
+
+import pytest
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.core.array import MATCHER_CHANNELS, SystolicMatcherArray, TextToken
+from repro.core.cells import MatcherCellKernel, ResultToken
+from repro.errors import SimulationError
+from repro.streams import RecirculatingPattern
+from repro.systolic.cell import is_bubble
+from repro.systolic.selftimed import SelfTimedLinearArray
+
+from conftest import AB4
+
+
+def run_selftimed(pattern, text, n_cells, delays=None, fifo_depth=2):
+    ref = SystolicMatcherArray(n_cells)
+    items = RecirculatingPattern(parse_pattern(pattern, AB4)).items
+    tokens = [TextToken(c, i) for i, c in enumerate(text)]
+    schedule = ref.input_schedule(items, tokens, ref.beats_needed(len(tokens)))
+    array = SelfTimedLinearArray(
+        n_cells, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"),
+        cell_delays=delays, fifo_depth=fifo_depth,
+    )
+    outs = array.run(schedule)
+    raw = {}
+    for o in outs:
+        if not is_bubble(o["s"]) and isinstance(o["r"], ResultToken):
+            raw[o["s"].index] = o["r"].value
+    k = len(pattern) - 1
+    results = [
+        bool(raw.get(i, False)) if i >= k else False for i in range(len(text))
+    ]
+    return results, array
+
+
+class TestFunctionalEquivalence:
+    def test_paper_example_without_a_clock(self):
+        results, _ = run_selftimed("AXC", "ABCAACACCAB", 3)
+        assert results == match_oracle(
+            parse_pattern("AXC", AB4), list("ABCAACACCAB")
+        )
+
+    def test_random_cases_with_heterogeneous_speeds(self):
+        """'Each of the cells may run at its own pace' -- and the results
+        must not depend on the pace (Kahn determinism)."""
+        random.seed(101)
+        for _ in range(10):
+            m = random.randint(1, 5)
+            L = random.randint(1, m)
+            pattern = "".join(random.choice("ABCDX") for _ in range(L))
+            text = "".join(random.choice("ABCD") for _ in range(random.randint(0, 18)))
+            delays = [random.uniform(0.3, 3.0) for _ in range(m)]
+            results, _ = run_selftimed(pattern, text, m, delays=delays)
+            assert results == match_oracle(parse_pattern(pattern, AB4), list(text))
+
+    def test_deeper_fifos_change_nothing(self):
+        for depth in (2, 3, 5):
+            results, _ = run_selftimed("AB", "ABAB", 2, fifo_depth=depth)
+            assert results == [False, True, False, True]
+
+
+class TestTiming:
+    def throughput(self, delays):
+        _, array = run_selftimed("ABCD", "ABCD" * 25, 4, delays=delays)
+        return array.stats.mean_slot_interval
+
+    def test_slowest_cell_sets_the_pace(self):
+        uniform = self.throughput([1.0] * 4)
+        one_slow = self.throughput([1.0, 1.0, 3.0, 1.0])
+        assert uniform == pytest.approx(1.0, rel=0.05)
+        assert one_slow == pytest.approx(3.0, rel=0.05)
+
+    def test_firings_counted(self):
+        _, array = run_selftimed("AB", "ABABAB", 2)
+        assert array.stats.firings > 0
+        assert array.stats.finish_time > 0
+
+
+class TestValidation:
+    def test_shallow_fifos_rejected(self):
+        with pytest.raises(SimulationError):
+            SelfTimedLinearArray(
+                2, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"),
+                fifo_depth=1,
+            )
+
+    def test_bad_delays_rejected(self):
+        with pytest.raises(SimulationError):
+            SelfTimedLinearArray(
+                2, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"),
+                cell_delays=[1.0],
+            )
+        with pytest.raises(SimulationError):
+            SelfTimedLinearArray(
+                2, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"),
+                cell_delays=[1.0, -1.0],
+            )
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(SimulationError):
+            SelfTimedLinearArray(
+                0, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s")
+            )

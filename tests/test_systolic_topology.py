@@ -1,0 +1,109 @@
+"""Chained arrays must be beat-for-beat identical to one long array."""
+
+import random
+
+import pytest
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.core.array import MATCHER_CHANNELS, SystolicMatcherArray, TextToken
+from repro.core.cells import MatcherCellKernel
+from repro.errors import SimulationError
+from repro.streams import RecirculatingPattern
+from repro.systolic.cell import is_bubble
+from repro.systolic.cell import PassThroughKernel
+from repro.systolic.engine import ChannelDirection, ChannelSpec, LinearArray
+from repro.systolic.topology import ChainedArrays
+
+
+def matcher_stage(n):
+    return LinearArray(n, MATCHER_CHANNELS, lambda i: MatcherCellKernel(), ("p", "s"))
+
+
+def run_matcher(stepper, n_cells, pattern, text, ab):
+    """Drive any step()-able array with the standard schedule."""
+    reference = SystolicMatcherArray(n_cells)
+    items = RecirculatingPattern(parse_pattern(pattern, ab)).items
+    tokens = [TextToken(c, i) for i, c in enumerate(text)]
+    schedule = reference.input_schedule(
+        items, tokens, reference.beats_needed(len(tokens))
+    )
+    raw = {}
+    for beat_in in schedule:
+        out = stepper.step(beat_in)
+        if not is_bubble(out["s"]) and not is_bubble(out["r"]):
+            raw[out["s"].index] = getattr(out["r"], "value", out["r"])
+    k = len(pattern) - 1
+    return [bool(raw.get(i, False)) if i >= k else False for i in range(len(text))]
+
+
+class TestChainEquivalence:
+    @pytest.mark.parametrize("sizes", [(1, 1), (2, 3), (3, 3, 2), (1, 4, 1, 2)])
+    def test_chain_equals_oracle(self, sizes, ab4):
+        random.seed(sum(sizes))
+        total = sum(sizes)
+        chain = ChainedArrays([matcher_stage(n) for n in sizes])
+        for _ in range(5):
+            L = random.randint(1, total)
+            pattern = "".join(random.choice("ABCDX") for _ in range(L))
+            text = "".join(random.choice("ABCD") for _ in range(random.randint(0, 25)))
+            got = run_matcher(chain, total, pattern, text, ab4)
+            want = match_oracle(parse_pattern(pattern, ab4), list(text))
+            assert got == want, (sizes, pattern, text)
+            chain.reset()
+
+    def test_five_chip_cascade_shape(self, ab4):
+        """Figure 3-7's headline configuration: 5 chips, capacity 5n."""
+        n = 2
+        chain = ChainedArrays([matcher_stage(n) for _ in range(5)])
+        assert chain.n_cells == 5 * n
+        pattern = "ABCDABCDAX"  # length 10 = full capacity
+        text = "ABCDABCDABABCDABCDAD"
+        got = run_matcher(chain, chain.n_cells, pattern, text, ab4)
+        want = match_oracle(parse_pattern(pattern, ab4), list(text))
+        assert got == want
+
+    def test_snapshot_concatenates_stages(self):
+        chain = ChainedArrays([matcher_stage(2), matcher_stage(3)])
+        snap = chain.snapshot()
+        assert len(snap["p"]) == 5
+        assert len(snap["s"]) == 5
+
+
+class TestChainValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SimulationError):
+            ChainedArrays([])
+
+    def test_mismatched_channels_rejected(self):
+        a = LinearArray(
+            1,
+            [ChannelSpec("x", ChannelDirection.RIGHT)],
+            lambda i: PassThroughKernel(),
+            ("x",),
+        )
+        b = matcher_stage(1)
+        with pytest.raises(SimulationError):
+            ChainedArrays([a, b])
+
+    def test_mismatched_directions_rejected(self):
+        a = LinearArray(
+            1,
+            [ChannelSpec("x", ChannelDirection.RIGHT)],
+            lambda i: PassThroughKernel(),
+            ("x",),
+        )
+        b = LinearArray(
+            1,
+            [ChannelSpec("x", ChannelDirection.LEFT)],
+            lambda i: PassThroughKernel(),
+            ("x",),
+        )
+        with pytest.raises(SimulationError):
+            ChainedArrays([a, b])
+
+    def test_reset_clears_all_stages(self):
+        chain = ChainedArrays([matcher_stage(2), matcher_stage(2)])
+        chain.step({"p": None})
+        chain.reset()
+        assert chain.beat == 0
+        assert all(s.beat == 0 for s in chain.stages)

@@ -1,0 +1,112 @@
+"""Timing, power, and design-effort models (the quantitative claims)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.timing import DesignEffortModel, TimingModel
+from repro.timing.power import (
+    broadcast_cycle_time,
+    broadcast_drive_power,
+    crossover_cells,
+    local_cycle_time,
+    local_drive_power,
+)
+
+
+class TestTimingModel:
+    def test_250ns_claim(self):
+        tm = TimingModel(beat_ns=250.0)
+        assert tm.bus_rate_chars_per_s() == pytest.approx(4e6)
+        assert tm.text_rate_chars_per_s() == pytest.approx(2e6)
+
+    def test_per_char_cost_independent_of_pattern_length(self):
+        tm = TimingModel()
+        assert tm.per_text_char_ns(2) == tm.per_text_char_ns(64)
+
+    def test_software_cost_grows_with_pattern_length(self):
+        tm = TimingModel()
+        assert tm.software_per_text_char_ns(16) == 2 * tm.software_per_text_char_ns(8)
+
+    def test_run_time_matches_array_driver(self):
+        from repro.core.array import SystolicMatcherArray
+
+        tm = TimingModel()
+        arr = SystolicMatcherArray(6)
+        assert tm.single_chip_run_ns(20, 6) == arr.beats_needed(20) * 250.0
+
+    def test_cascade_same_rate_longer_fill(self):
+        tm = TimingModel()
+        t1 = tm.cascade_run_ns(1000, 8, 1)
+        t5 = tm.cascade_run_ns(1000, 8, 5)
+        # marginal cost per char identical; only fill/drain differ
+        assert t5 - t1 == pytest.approx((5 * 8 - 8) * 2 * 250.0)
+
+    def test_multipass_linear_in_runs(self):
+        tm = TimingModel()
+        one = tm.multipass_run_ns(40, n_cells=8, pattern_len=16)
+        two = tm.multipass_run_ns(72, n_cells=8, pattern_len=16)
+        assert two > one
+
+    def test_invalid_beat_rejected(self):
+        with pytest.raises(ReproError):
+            TimingModel(beat_ns=0)
+
+
+class TestPowerModel:
+    def test_local_cycle_constant(self):
+        assert local_cycle_time() == local_cycle_time()
+
+    def test_unbuffered_broadcast_linear(self):
+        t10 = broadcast_cycle_time(10)
+        t20 = broadcast_cycle_time(20)
+        t40 = broadcast_cycle_time(40)
+        assert t40 - t20 == pytest.approx(2 * (t20 - t10))
+
+    def test_buffered_broadcast_sublinear_but_more_power(self):
+        t_unbuf = broadcast_cycle_time(256)
+        t_buf = broadcast_cycle_time(256, buffered=True)
+        assert t_buf < t_unbuf
+        assert broadcast_drive_power(256) == 256 * local_drive_power()
+
+    def test_crossover_exists(self):
+        """Beyond a few cells, broadcast is slower than local wiring --
+        the Section 3.3.1 argument."""
+        n = crossover_cells()
+        assert 2 <= n <= 100
+        assert broadcast_cycle_time(n) > local_cycle_time()
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            broadcast_cycle_time(0)
+        with pytest.raises(ReproError):
+            broadcast_drive_power(-1)
+
+
+class TestEconomics:
+    def test_prototype_lands_near_two_man_months(self):
+        """Section 5: 'took only about two man-months' (~8.7 weeks)."""
+        weeks = DesignEffortModel().prototype_weeks()
+        assert 6.0 <= weeks <= 11.0
+
+    def test_regular_design_flat_in_instances(self):
+        m = DesignEffortModel()
+        small = m.regular_design_weeks(4, 24)
+        large = m.regular_design_weeks(4, 24 * 100)
+        assert large < 4 * small  # near-flat
+
+    def test_irregular_design_linear_in_instances(self):
+        m = DesignEffortModel()
+        assert m.irregular_design_weeks(200) > 10 * m.irregular_design_weeks(10)
+
+    def test_regularity_wins_at_scale(self):
+        m = DesignEffortModel()
+        assert m.regular_design_weeks(4, 1000) < m.irregular_design_weeks(1000) / 10
+
+    def test_invalid_arguments_rejected(self):
+        m = DesignEffortModel()
+        with pytest.raises(ReproError):
+            m.regular_design_weeks(0, 5)
+        with pytest.raises(ReproError):
+            m.regular_design_weeks(4, 2)
+        with pytest.raises(ReproError):
+            m.irregular_design_weeks(0)

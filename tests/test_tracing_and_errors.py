@@ -1,0 +1,75 @@
+"""Trace rendering, recorder bounds, and the exception hierarchy."""
+
+import pytest
+
+from repro import Alphabet, parse_pattern
+from repro import errors
+from repro.core.array import SystolicMatcherArray
+from repro.streams import RecirculatingPattern
+from repro.systolic.tracing import TraceRecorder, render_flow
+
+
+class TestTraceRecorder:
+    def run_traced(self, ab, max_beats=None):
+        rec = TraceRecorder(max_beats=max_beats)
+        arr = SystolicMatcherArray(3, recorder=rec)
+        items = RecirculatingPattern(parse_pattern("ABC", ab)).items
+        arr.run(items, "ABCABC")
+        return rec
+
+    def test_records_every_beat(self, ab4):
+        rec = self.run_traced(ab4)
+        beats = [bt.beat for bt in rec.beats]
+        assert beats == list(range(beats[0], beats[0] + len(beats)))
+
+    def test_max_beats_bounds_memory(self, ab4):
+        rec = self.run_traced(ab4, max_beats=5)
+        assert len(rec.beats) == 5
+
+    def test_channel_history_shape(self, ab4):
+        rec = self.run_traced(ab4)
+        history = rec.channel_history("p")
+        assert all(len(row) == 3 for row in history)
+
+    def test_render_flow_marks_active_cells(self, ab4):
+        rec = self.run_traced(ab4)
+        text = render_flow(rec, ["p", "s"])
+        assert "beat" in text and "*" in text and "." in text
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.AlphabetError, errors.PatternError, errors.StreamError,
+            errors.SimulationError, errors.CircuitError, errors.ClockError,
+            errors.ChargeDecayError, errors.LayoutError, errors.CIFError,
+            errors.ChipError, errors.HostError, errors.MethodologyError,
+            errors.DesignRuleViolation,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        if exc is errors.DesignRuleViolation:
+            instance = exc("rule", "detail")
+        else:
+            instance = exc("boom")
+        assert isinstance(instance, errors.ReproError)
+
+    def test_clock_and_decay_are_circuit_errors(self):
+        assert issubclass(errors.ClockError, errors.CircuitError)
+        assert issubclass(errors.ChargeDecayError, errors.CircuitError)
+
+    def test_design_rule_violation_carries_rule(self):
+        v = errors.DesignRuleViolation("metal-width", "too thin at (0,0)")
+        assert v.rule == "metal-width"
+        assert "metal-width" in str(v)
+
+    def test_one_except_catches_everything(self, ab4):
+        from repro import PatternMatcher
+
+        try:
+            PatternMatcher("", ab4)
+        except errors.ReproError:
+            pass  # a single handler suffices for library failures
+        else:
+            pytest.fail("expected a ReproError")

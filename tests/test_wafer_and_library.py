@@ -1,0 +1,169 @@
+"""Section 5 outlook systems: wafer-scale integration and the cell library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.core.array import SystolicMatcherArray
+from repro.errors import ChipError, ReproError
+from repro.library import CellEntry, CellLibrary, standard_library
+from repro.streams import RecirculatingPattern
+from repro.wafer import (
+    Wafer,
+    expected_harvest_fraction,
+    harvest_linear_array,
+    monolithic_yield,
+)
+from repro.wafer.reconfigure import matcher_from_harvest, serpentine_order
+from repro.wafer.yield_model import break_even_size, cells_per_wafer, long_run_probability
+
+from conftest import AB4
+
+
+class TestWafer:
+    def test_defect_free_wafer(self):
+        w = Wafer(4, 8, defect_rate=0.0)
+        assert w.n_functional == 32
+
+    def test_defects_reproducible_by_seed(self):
+        a = Wafer(10, 10, defect_rate=0.3, seed=42)
+        b = Wafer(10, 10, defect_rate=0.3, seed=42)
+        assert a.defect_map() == b.defect_map()
+        assert 0 < a.n_functional < 100
+
+    def test_defect_injection(self):
+        w = Wafer(2, 2)
+        w.mark_defective(0, 1)
+        assert w.n_functional == 3
+        assert "X" in w.defect_map()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ChipError):
+            Wafer(0, 4)
+        with pytest.raises(ChipError):
+            Wafer(2, 2, defect_rate=1.0)
+
+
+class TestReconfiguration:
+    def test_serpentine_visits_every_site_once(self):
+        w = Wafer(3, 4)
+        order = serpentine_order(w)
+        assert len(order) == 12
+        assert len({s.position for s in order}) == 12
+        # row 1 is traversed right-to-left
+        assert [s.position for s in order[4:8]] == [(1, 3), (1, 2), (1, 1), (1, 0)]
+
+    def test_harvest_skips_defects(self):
+        w = Wafer(2, 4)
+        w.mark_defective(0, 2)
+        w.mark_defective(1, 0)
+        harvest = harvest_linear_array(w)
+        assert harvest.n_cells == 6
+        assert (0, 2) in harvest.bypassed and (1, 0) in harvest.bypassed
+        assert harvest.worst_bypass_run == 1
+
+    def test_bypass_budget_enforced(self):
+        w = Wafer(1, 8)
+        for c in range(2, 6):
+            w.mark_defective(0, c)  # run of 4
+        assert harvest_linear_array(w, max_bypass_run=4).n_cells == 4
+        with pytest.raises(ChipError):
+            harvest_linear_array(w, max_bypass_run=3)
+
+    def test_matcher_runs_on_harvested_array(self):
+        """The paper's point: the machine still works around defects."""
+        w = Wafer(3, 4, defect_rate=0.25, seed=7)
+        harvest = harvest_linear_array(w)
+        assert 0 < harvest.n_cells < 12
+        pattern = parse_pattern("AXC", AB4)
+        array = matcher_from_harvest(harvest, n_cells=max(3, harvest.n_cells))
+        raw = array.run(RecirculatingPattern(pattern).items, "ABCAACACCAB")
+        got = [bool(raw.get(i, False)) if i >= 2 else False for i in range(11)]
+        assert got == match_oracle(pattern, list("ABCAACACCAB"))
+
+    def test_empty_harvest_rejected(self):
+        w = Wafer(1, 2)
+        w.mark_defective(0, 0)
+        w.mark_defective(0, 1)
+        harvest = harvest_linear_array(w)
+        with pytest.raises(ChipError):
+            matcher_from_harvest(harvest)
+
+    def test_cannot_request_more_than_harvested(self):
+        harvest = harvest_linear_array(Wafer(1, 3))
+        with pytest.raises(ChipError):
+            matcher_from_harvest(harvest, n_cells=4)
+
+
+class TestYieldModel:
+    def test_monolithic_yield_collapses_geometrically(self):
+        assert monolithic_yield(1, 0.05) == pytest.approx(0.95)
+        assert monolithic_yield(100, 0.05) < 0.01
+        assert monolithic_yield(24, 0.05) == pytest.approx(0.95 ** 24)
+
+    def test_harvest_fraction_flat_in_size(self):
+        assert expected_harvest_fraction(0.05) == pytest.approx(0.95)
+        assert cells_per_wafer(100, 100, 0.05) == pytest.approx(9500)
+
+    def test_break_even_small_at_real_defect_rates(self):
+        n = break_even_size(0.05)
+        assert 1 <= n <= 10  # reconfiguration wins almost immediately
+
+    def test_long_run_probability_bounds(self):
+        assert long_run_probability(1000, 0.05, run=4) <= 1000 * 0.05 ** 5
+        assert long_run_probability(10, 0.9, run=0) == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(min_value=0.0, max_value=0.5),
+           n=st.integers(1, 200))
+    def test_monotonicity(self, rate, n):
+        assert 0.0 <= monolithic_yield(n, rate) <= 1.0
+        assert monolithic_yield(n + 1, rate) <= monolithic_yield(n, rate)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ChipError):
+            monolithic_yield(0, 0.1)
+        with pytest.raises(ChipError):
+            expected_harvest_fraction(1.5)
+
+
+class TestCellLibrary:
+    def test_standard_catalogue(self):
+        lib = standard_library()
+        assert "inner-product-step" in lib  # the paper's own example
+        assert {"matcher", "match-counter", "correlator"} <= set(lib.names())
+        assert len(lib) >= 5
+        assert "inner-product-step" in lib.catalogue()
+
+    def test_selected_cell_actually_computes(self):
+        """Select the inner product step cell 'rather than construct it':
+        plug it into the array and verify sliding inner products."""
+        from repro.extensions.correlation import NumericPatternItem
+
+        lib = standard_library()
+        entry = lib.get("inner-product-step")
+        array = SystolicMatcherArray(3, kernel_factory=entry.make_kernel)
+        items = [NumericPatternItem(v, i == 2) for i, v in enumerate([1.0, 2.0, 3.0])]
+        raw = array.run(items, [1.0, 1.0, 1.0, 2.0])
+        assert raw[2] == pytest.approx(6.0)   # [1,1,1] . [1,2,3]
+        assert raw[3] == pytest.approx(9.0)   # [1,1,2] . [1,2,3]
+
+    def test_matcher_cell_from_library(self):
+        lib = standard_library()
+        array = SystolicMatcherArray(2, kernel_factory=lib.get("matcher").make_kernel)
+        pattern = parse_pattern("AB", AB4)
+        raw = array.run(RecirculatingPattern(pattern).items, "CABAB")
+        got = [bool(raw.get(i, False)) if i >= 1 else False for i in range(5)]
+        assert got == match_oracle(pattern, list("CABAB"))
+
+    def test_duplicate_registration_rejected(self):
+        lib = CellLibrary()
+        entry = CellEntry("x", "test", lambda i: None)
+        lib.register(entry)
+        with pytest.raises(ReproError):
+            lib.register(entry)
+
+    def test_unknown_cell_helpful_error(self):
+        with pytest.raises(ReproError, match="available"):
+            standard_library().get("flux-capacitor")
