@@ -1,0 +1,97 @@
+"""Farm throughput: aggregate chars/s vs worker count, and where it stops.
+
+Section 5's economics only matter at scale: the service layer multiplexes
+many queries onto many chips, so aggregate throughput should grow with
+worker count -- until the *host* runs out of memory bandwidth, which is
+the paper's introduction replayed at farm scale.  On a 1979 minicomputer
+one chip already outruns memory (no scaling at all); on a fast mainframe
+the farm scales near-linearly until the shared bus saturates, then goes
+flat.
+"""
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.analysis import Table
+from repro.chip.chip import ChipSpec
+from repro.host.bus import HostSpec
+from repro.service import MatcherService, SchedulerConfig, uniform_pool
+
+from conftest import random_pattern, random_text
+
+AB = Alphabet("ABCD")
+MINI_1979 = HostSpec()  # 600 ns cycle, 2-byte words
+MAINFRAME = HostSpec(name="mainframe", memory_cycle_ns=100.0, bytes_per_word=8)
+
+N_JOBS = 24
+TEXT_LEN = 160
+PATTERN = random_pattern(6, seed=3)
+TEXTS = [random_text(TEXT_LEN, seed=100 + i) for i in range(N_JOBS)]
+
+
+def run_farm(n_workers, host):
+    pool = uniform_pool(n_workers, ChipSpec(8, 2), AB)
+    svc = MatcherService(
+        pool,
+        host=host,
+        config=SchedulerConfig(
+            queue_capacity=N_JOBS,
+            wide_text_threshold=10**9,  # isolate scaling from sharding
+        ),
+    )
+    for text in TEXTS:
+        svc.submit(PATTERN, text)
+    results = svc.drain()
+    return svc, results
+
+
+def aggregate_rate(svc):
+    return svc.telemetry.aggregate_chars_per_s(svc.beat_ns)
+
+
+def test_service_throughput_scales_until_bus_saturates(ab4):
+    table = Table(
+        ["workers", "mainframe Mchar/s", "speedup", "bus util",
+         "1979-mini Mchar/s"],
+        title="farm throughput vs worker count",
+    )
+    fast_rates, mini_rates = {}, {}
+    for n in (1, 2, 4, 8, 16):
+        svc, results = run_farm(n, MAINFRAME)
+        fast_rates[n] = aggregate_rate(svc)
+        bus_util = svc.telemetry.bus_utilization()
+        svc_mini, _ = run_farm(n, MINI_1979)
+        mini_rates[n] = aggregate_rate(svc_mini)
+        table.row(
+            [n, fast_rates[n] / 1e6, fast_rates[n] / fast_rates[1],
+             bus_util, mini_rates[n] / 1e6]
+        )
+    print()
+    table.print()
+
+    # Results stay oracle-identical at every scale (spot check the last run).
+    want = match_oracle(parse_pattern(PATTERN, AB), list(TEXTS[0]))
+    assert results[0].results == want
+
+    # Near-linear region: doubling workers ~doubles throughput.
+    assert fast_rates[2] / fast_rates[1] > 1.8
+    assert fast_rates[4] / fast_rates[1] > 3.5
+    assert fast_rates[8] / fast_rates[1] > 6.5
+    # Saturation: 16 workers cannot double 8 -- the bus is the ceiling.
+    assert fast_rates[16] / fast_rates[8] < 1.9
+    assert fast_rates[16] / fast_rates[1] < 16 * 0.95
+    # The 1979 host is bus-bound from the first chip: adding workers is
+    # pointless (the paper's memory-bandwidth claim, at farm scale).
+    assert mini_rates[4] / mini_rates[1] < 1.3
+    assert mini_rates[16] / mini_rates[1] < 1.3
+    # And a single chip already uses essentially all of that memory.
+    assert max(mini_rates.values()) / min(mini_rates.values()) < 1.05
+
+
+def test_farm_drain_measured(benchmark):
+    """pytest-benchmark measurement of one 4-worker farm drain."""
+
+    def drain_once():
+        svc, results = run_farm(4, MAINFRAME)
+        return len(results)
+
+    completed = benchmark(drain_once)
+    assert completed == N_JOBS

@@ -76,3 +76,11 @@ class HostError(ReproError):
 
 class MethodologyError(ReproError):
     """Design-task graph is inconsistent (cycle, missing input)."""
+
+
+class ServiceError(ReproError):
+    """Matcher-farm service layer misuse or internal inconsistency."""
+
+
+class BackpressureError(ServiceError):
+    """A bounded job queue refused a submission (queue at capacity)."""

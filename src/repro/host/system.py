@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import HostError
 from .bus import HostBus, HostSpec
@@ -35,7 +35,7 @@ class HostSystem:
     [1.0, 2.0, 3.0]
     """
 
-    def __init__(self, host: HostSpec = None):
+    def __init__(self, host: Optional[HostSpec] = None):
         self.host = host or HostSpec()
         self.bus = HostBus(self.host)
         self.devices: Dict[str, AttachedDevice] = {}
@@ -53,6 +53,10 @@ class HostSystem:
 
     def run(self, device_name: str, stream: Sequence[object]) -> List[object]:
         """Offload a stream to a device, with bus/time accounting."""
+        if not self.devices:
+            raise HostError(
+                "no devices attached; attach() a device before run()"
+            )
         try:
             device = self.devices[device_name]
         except KeyError:

@@ -1,0 +1,82 @@
+"""The matcher farm: a multi-tenant service over a pool of simulated chips.
+
+Figure 1-1 pitches the pattern matcher as an attached device serving a
+host; Section 5 imagines many cheap special-purpose chips deployed at
+scale.  This package is that deployment story rendered executable: many
+concurrent match queries multiplexed onto a pool of simulated devices,
+with bounded queues and backpressure (CSP-style channels between explicit
+scheduler and worker processes), priority classes, tenant fairness,
+pattern/text sharding, fault injection with retry-and-reassignment, and
+graceful degradation to the Section 3.3 software baselines when the pool
+is saturated or exhausted.
+
+The public surface is :class:`MatcherService` (``submit``/``drain``) over
+a :class:`DevicePool`; everything is beat-accounted against the paper's
+250 ns/char timing model so throughput and latency numbers stay faithful
+to the hardware story.
+
+Layout
+------
+* :mod:`~repro.service.pool` -- workers wrapping chips, cascades, or
+  wafer harvests (some degraded or dead).
+* :mod:`~repro.service.scheduler` -- bounded queues, priority classes,
+  tenant round-robin, the simulated beat clock, and the shared host bus.
+* :mod:`~repro.service.sharding` -- long patterns via multipass, wide
+  texts split across workers and merged back into one result stream.
+* :mod:`~repro.service.reliability` -- fault injection, retry policy,
+  and the software-baseline fallback path.
+* :mod:`~repro.service.telemetry` -- per-job and per-worker counters
+  rendered through :class:`repro.analysis.report.Table`.
+"""
+
+from __future__ import annotations
+
+from .pool import (
+    DevicePool,
+    PoolWorker,
+    WorkerState,
+    cascade_pool,
+    pool_from_wafers,
+    uniform_pool,
+)
+from .reliability import Fault, FaultInjector, FaultKind, RetryPolicy, SoftwareFallback
+from .scheduler import (
+    BeatClock,
+    BoundedQueue,
+    JobQueues,
+    Priority,
+    SchedulerConfig,
+    SharedBus,
+)
+from .service import JobResult, MatchJob, MatcherService
+from .sharding import ShardMode, ShardPlan, TextShard, merge_shard_results, plan_shards
+from .telemetry import ServiceTelemetry, WorkerStats
+
+__all__ = [
+    "BeatClock",
+    "BoundedQueue",
+    "DevicePool",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "JobQueues",
+    "JobResult",
+    "MatchJob",
+    "MatcherService",
+    "PoolWorker",
+    "Priority",
+    "RetryPolicy",
+    "SchedulerConfig",
+    "ServiceTelemetry",
+    "ShardMode",
+    "ShardPlan",
+    "SharedBus",
+    "SoftwareFallback",
+    "TextShard",
+    "WorkerState",
+    "cascade_pool",
+    "merge_shard_results",
+    "plan_shards",
+    "pool_from_wafers",
+    "uniform_pool",
+]

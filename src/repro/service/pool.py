@@ -1,0 +1,275 @@
+"""The device pool: workers built from chips, cascades, or wafer harvests.
+
+Each :class:`PoolWorker` wraps one simulated matching engine -- a
+:class:`~repro.chip.chip.PatternMatchingChip`, a
+:class:`~repro.chip.cascade.ChipCascade`, or an array harvested from a
+defective :class:`~repro.wafer.wafer.Wafer` -- behind a uniform execute
+interface.  Workers harvested from wafers may be *degraded* (fewer
+functional cells than sites, so long patterns need more multipass runs)
+or *dead* on arrival (an unharvestable wafer), which is exactly the
+Section 5 deployment reality the farm has to schedule around.
+
+Timing is delegated to :class:`repro.timing.model.TimingModel` so every
+service-level beat count traces back to the paper's 250 ns/char model.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..alphabet import Alphabet, PatternChar
+from ..chip.cascade import ChipCascade
+from ..chip.chip import ChipSpec, PatternMatchingChip
+from ..core.multipass import multipass_match, runs_required
+from ..errors import ChipError, ServiceError
+from ..timing.model import TimingModel
+from ..wafer.reconfigure import harvest_linear_array
+from ..wafer.wafer import Wafer
+
+
+class WorkerState(Enum):
+    """Lifecycle of a pool worker."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+    DEAD = "dead"
+
+
+class PoolWorker:
+    """One schedulable matching engine in the farm.
+
+    ``capacity`` is the number of usable character cells; patterns longer
+    than it run multipass (Section 3.4) on this worker, at multipass
+    rates.  ``nominal_capacity`` is what a defect-free unit would have
+    had, so ``is_degraded`` distinguishes harvest losses from design.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        backend: Optional[object],
+        capacity: int,
+        nominal_capacity: int,
+        beat_ns: float,
+        alphabet: Alphabet,
+    ):
+        if capacity < 0:
+            raise ServiceError("worker capacity cannot be negative")
+        self.name = name
+        self.backend = backend
+        self.capacity = capacity
+        self.nominal_capacity = max(nominal_capacity, capacity)
+        self.beat_ns = beat_ns
+        self.alphabet = alphabet
+        self.timing = TimingModel(beat_ns)
+        self.state = WorkerState.DEAD if capacity == 0 else WorkerState.IDLE
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_chip(cls, name: str, chip: PatternMatchingChip) -> "PoolWorker":
+        return cls(
+            name,
+            chip,
+            chip.spec.n_cells,
+            chip.spec.n_cells,
+            chip.spec.beat_ns,
+            chip.alphabet,
+        )
+
+    @classmethod
+    def from_cascade(cls, name: str, cascade: ChipCascade) -> "PoolWorker":
+        return cls(
+            name,
+            cascade,
+            cascade.capacity,
+            cascade.capacity,
+            cascade.spec.beat_ns,
+            cascade.alphabet,
+        )
+
+    @classmethod
+    def from_wafer(
+        cls,
+        name: str,
+        wafer: Wafer,
+        alphabet: Alphabet,
+        beat_ns: float = 250.0,
+        max_bypass_run: int = 4,
+    ) -> "PoolWorker":
+        """Harvest a wafer into a worker; an unharvestable wafer yields a
+        dead worker rather than an exception (the farm routes around it)."""
+        try:
+            harvest = harvest_linear_array(wafer, max_bypass_run=max_bypass_run)
+            n_cells = harvest.n_cells
+        except ChipError:
+            n_cells = 0
+        backend = None
+        if n_cells > 0:
+            backend = PatternMatchingChip(
+                ChipSpec(n_cells, alphabet.bits, beat_ns, name=name), alphabet
+            )
+        return cls(name, backend, n_cells, wafer.n_sites, beat_ns, alphabet)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_live(self) -> bool:
+        return self.state is not WorkerState.DEAD
+
+    @property
+    def is_degraded(self) -> bool:
+        return 0 < self.capacity < self.nominal_capacity
+
+    def fits(self, pattern_len: int) -> bool:
+        """Can this worker hold the pattern without multipass?"""
+        return 0 < pattern_len <= self.capacity
+
+    # -- execution --------------------------------------------------------
+
+    def run_match(
+        self, pattern: Sequence[PatternChar], text: Sequence[str]
+    ) -> List[bool]:
+        """Execute one match on this worker's engine.
+
+        Short patterns run on the backend chip/cascade; patterns beyond
+        ``capacity`` run the Section 3.4 multipass scheme on the same
+        number of cells.  Either way the result stream is the verified
+        oracle stream.
+        """
+        if not self.is_live or self.backend is None:
+            raise ServiceError(f"worker {self.name!r} is dead")
+        pattern = list(pattern)
+        if self.fits(len(pattern)):
+            self.backend.load_pattern(pattern)
+            return self.backend.match(text)
+        return multipass_match(pattern, list(text), self.capacity)
+
+    # -- beat accounting --------------------------------------------------
+
+    def service_beats(self, pattern_len: int, n_text: int) -> int:
+        """Beats this worker occupies for one job (fill + stream + drain)."""
+        if n_text == 0:
+            return 0
+        if pattern_len <= self.capacity:
+            ns = self.timing.single_chip_run_ns(n_text, self.capacity)
+        else:
+            ns = self.timing.multipass_run_ns(n_text, self.capacity, pattern_len)
+        return int(math.ceil(ns / self.beat_ns))
+
+    def transfer_chars(self, pattern_len: int, n_text: int) -> int:
+        """Bus characters one job moves: pattern and text interleave (two
+        stream characters per text character, Section 3.2.1) plus the
+        result bits coming back; multipass re-streams everything per run."""
+        if n_text == 0:
+            return 0
+        runs = 1
+        if pattern_len > self.capacity:
+            runs = max(1, runs_required(pattern_len, n_text, self.capacity))
+        return runs * 3 * n_text
+
+    def __repr__(self) -> str:
+        tag = self.state.value
+        if self.is_degraded:
+            tag += ", degraded"
+        return (
+            f"PoolWorker({self.name!r}, {self.capacity}/{self.nominal_capacity} "
+            f"cells, {tag})"
+        )
+
+
+class DevicePool:
+    """The farm's set of workers, all sharing one alphabet."""
+
+    def __init__(self, workers: Sequence[PoolWorker]):
+        workers = list(workers)
+        if not workers:
+            raise ServiceError("a device pool needs at least one worker")
+        alphabets = {w.alphabet for w in workers}
+        if len(alphabets) != 1:
+            raise ServiceError("all pool workers must share one alphabet")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ServiceError("pool worker names must be distinct")
+        self.workers = workers
+        self.alphabet = workers[0].alphabet
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def worker(self, name: str) -> PoolWorker:
+        for w in self.workers:
+            if w.name == name:
+                return w
+        raise ServiceError(f"no worker named {name!r}")
+
+    def live_workers(self) -> List[PoolWorker]:
+        return [w for w in self.workers if w.is_live]
+
+    def idle_workers(self) -> List[PoolWorker]:
+        return [w for w in self.workers if w.state is WorkerState.IDLE]
+
+    @property
+    def n_live(self) -> int:
+        return len(self.live_workers())
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(w.capacity for w in self.live_workers())
+
+
+def uniform_pool(
+    n_workers: int, spec: ChipSpec, alphabet: Alphabet
+) -> DevicePool:
+    """*n* identical single-chip workers (the catalogue-order farm)."""
+    if n_workers <= 0:
+        raise ServiceError("pool needs at least one worker")
+    return DevicePool(
+        [
+            PoolWorker.from_chip(f"chip-{i}", PatternMatchingChip(spec, alphabet))
+            for i in range(n_workers)
+        ]
+    )
+
+
+def cascade_pool(
+    n_workers: int, spec: ChipSpec, n_chips: int, alphabet: Alphabet
+) -> DevicePool:
+    """*n* workers, each a Figure 3-7 cascade of ``n_chips`` chips."""
+    if n_workers <= 0:
+        raise ServiceError("pool needs at least one worker")
+    return DevicePool(
+        [
+            PoolWorker.from_cascade(
+                f"cascade-{i}", ChipCascade(spec, n_chips, alphabet)
+            )
+            for i in range(n_workers)
+        ]
+    )
+
+
+def pool_from_wafers(
+    wafers: Sequence[Wafer],
+    alphabet: Alphabet,
+    beat_ns: float = 250.0,
+    max_bypass_run: int = 4,
+) -> DevicePool:
+    """One worker per wafer, harvested around defects.
+
+    Wafers whose defect runs exceed the bypass budget become dead
+    workers; partially defective wafers become degraded workers.  The
+    pool is usable as long as one worker survives.
+    """
+    return DevicePool(
+        [
+            PoolWorker.from_wafer(
+                f"wafer-{i}", w, alphabet, beat_ns, max_bypass_run
+            )
+            for i, w in enumerate(wafers)
+        ]
+    )

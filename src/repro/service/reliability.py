@@ -1,0 +1,132 @@
+"""Fault injection, retries, and graceful degradation.
+
+The farm's failure model covers the two ways a simulated chip lets the
+scheduler down:
+
+* *worker death* -- the chip stops mid-job (a Section 5 wafer reality:
+  latent defects, infant mortality).  The in-flight execution is lost;
+  the job is requeued at the front of its lane and reassigned to another
+  worker.
+* *stuck beats* -- the chip stalls for a bounded number of beats (clock
+  or handshake glitch) but completes correctly.  Only latency suffers.
+
+When retries are exhausted, the pool has no live workers, or admission
+hits backpressure, the job degrades to a *software* matcher from
+:mod:`repro.baselines` running on the host CPU -- slower by the paper's
+own host model, but still bit-identical to the oracle.  Degradation
+trades throughput for availability; it never trades correctness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..alphabet import PatternChar
+from ..baselines.shift_or import shift_or_match
+from ..errors import ServiceError
+from ..host.bus import HostSpec
+
+
+class FaultKind(Enum):
+    WORKER_DEATH = "worker-death"
+    STUCK_BEATS = "stuck-beats"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault on one execution.
+
+    ``at_fraction`` locates a death within the service interval (the
+    beats burned before the loss is noticed); ``extra_beats`` is the
+    stall length for a stuck-beat fault.
+    """
+
+    kind: FaultKind
+    at_fraction: float = 1.0
+    extra_beats: int = 0
+
+
+class FaultInjector:
+    """Seeded random fault source; deterministic per seed.
+
+    Probabilities are per *execution* (each shard assignment and each
+    retry samples independently).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        p_death: float = 0.0,
+        p_stuck: float = 0.0,
+        stuck_beats: Tuple[int, int] = (1, 64),
+    ):
+        if not 0.0 <= p_death <= 1.0 or not 0.0 <= p_stuck <= 1.0:
+            raise ServiceError("fault probabilities must be in [0, 1]")
+        if p_death + p_stuck > 1.0:
+            raise ServiceError("fault probabilities must sum to at most 1")
+        if stuck_beats[0] < 0 or stuck_beats[1] < stuck_beats[0]:
+            raise ServiceError("stuck_beats must be a non-negative range")
+        self.p_death = p_death
+        self.p_stuck = p_stuck
+        self.stuck_beats = stuck_beats
+        self._rng = random.Random(seed)
+
+    def sample(self) -> Optional[Fault]:
+        r = self._rng.random()
+        if r < self.p_death:
+            return Fault(FaultKind.WORKER_DEATH, at_fraction=self._rng.random())
+        if r < self.p_death + self.p_stuck:
+            return Fault(
+                FaultKind.STUCK_BEATS,
+                extra_beats=self._rng.randint(*self.stuck_beats),
+            )
+        return None
+
+
+#: An injector that never fires -- the default, healthy farm.
+def no_faults() -> FaultInjector:
+    return FaultInjector(seed=0, p_death=0.0, p_stuck=0.0)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times an execution may be reassigned before degrading."""
+
+    max_retries: int = 2
+
+    def should_retry(self, attempts: int) -> bool:
+        """*attempts* = completed (failed) tries so far."""
+        return attempts <= self.max_retries
+
+
+class SoftwareFallback:
+    """The host CPU running a Section 3.3 software baseline.
+
+    Uses shift-or (the strongest streaming software baseline in
+    :mod:`repro.baselines`) for the answer and the host model's
+    per-character instruction cost for the time -- the same comparison
+    the paper's introduction draws, now serving as the farm's pressure
+    relief valve.
+    """
+
+    def __init__(self, host: Optional[HostSpec] = None):
+        self.host = host or HostSpec()
+
+    def match(
+        self, pattern: Sequence[PatternChar], text: Sequence[str]
+    ) -> List[bool]:
+        if len(text) == 0:
+            return []
+        return shift_or_match(list(pattern), list(text))
+
+    def beats(self, pattern_len: int, text_len: int, beat_ns: float) -> int:
+        """Software matching time, expressed in chip beats for apples-to-
+        apples latency accounting."""
+        if beat_ns <= 0:
+            raise ServiceError("beat time must be positive")
+        ns = self.host.software_match_time_ns(text_len, pattern_len)
+        return int(math.ceil(ns / beat_ns))

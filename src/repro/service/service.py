@@ -1,0 +1,457 @@
+"""`MatcherService`: submit/drain over the device pool.
+
+The service is a discrete-event simulation driven by the beat clock.
+``submit`` admits jobs through the bounded priority queues (backpressure
+applies); ``drain`` runs the farm to completion: assign queued work to
+idle workers, advance the clock to the next completion, handle faults,
+repeat.  Every execution is beat-accounted (worker service time from the
+250 ns timing model, bus occupancy from the host memory model), and every
+result is produced by a verified matching engine -- chip, cascade,
+multipass, or the software fallback -- so service output is bit-identical
+to :func:`repro.core.reference.match_oracle` no matter how the job was
+routed, retried, or sharded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..alphabet import PatternChar, parse_pattern
+from ..errors import BackpressureError, ServiceError
+from ..host.bus import HostSpec
+from .pool import DevicePool, PoolWorker, WorkerState
+from .reliability import FaultInjector, FaultKind, RetryPolicy, SoftwareFallback
+from .scheduler import BeatClock, JobQueues, Priority, SchedulerConfig, SharedBus
+from .sharding import (
+    ShardMode,
+    ShardPlan,
+    TextShard,
+    merge_shard_results,
+    plan_shards,
+)
+from .telemetry import ServiceTelemetry
+
+
+@dataclass
+class MatchJob:
+    """One admitted match query."""
+
+    job_id: int
+    tenant: str
+    priority: Priority
+    pattern: List[PatternChar]
+    text: List[str]
+    submitted_beat: float
+    attempts: int = 0  # failed executions so far (drives the retry policy)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The completed job: the oracle-identical result stream plus its
+    latency story."""
+
+    job_id: int
+    tenant: str
+    priority: Priority
+    results: List[bool]
+    submitted_beat: float
+    started_beat: float
+    finished_beat: float
+    wait_beats: float
+    service_beats: float
+    mode: str
+    workers: Tuple[str, ...]
+    attempts: int
+    via_fallback: bool
+
+    @property
+    def latency_beats(self) -> float:
+        return self.finished_beat - self.submitted_beat
+
+
+@dataclass
+class _JobState:
+    """In-flight bookkeeping for one job."""
+
+    job: MatchJob
+    plan: ShardPlan
+    pending: Dict[int, TextShard]
+    shard_results: Dict[int, List[bool]] = field(default_factory=dict)
+    shard_finish: Dict[int, float] = field(default_factory=dict)
+    started_beat: Optional[float] = None
+    service_beats: float = 0.0
+    workers_used: List[str] = field(default_factory=list)
+    via_fallback: bool = False
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+
+@dataclass(frozen=True)
+class _Execution:
+    """One shard running on one worker (or dying on it)."""
+
+    seq: int
+    state: _JobState
+    shard: TextShard
+    worker: PoolWorker
+    start_beat: float
+    finish_beat: float
+    fault: Optional[object]
+
+
+class MatcherService:
+    """The multi-tenant matcher farm (the public API of the subsystem).
+
+    >>> pool = uniform_pool(4, ChipSpec(8, 2), Alphabet("ABCD"))  # doctest: +SKIP
+    >>> svc = MatcherService(pool)                                # doctest: +SKIP
+    >>> jid = svc.submit("AXC", "ABCAACACCAB", tenant="alice")    # doctest: +SKIP
+    >>> svc.drain()[0].results                                    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        config: Optional[SchedulerConfig] = None,
+        host: Optional[HostSpec] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.pool = pool
+        self.config = config or SchedulerConfig()
+        self.host = host or HostSpec()
+        self.faults = faults or FaultInjector()
+        self.retry = RetryPolicy(self.config.max_retries)
+        self.fallback = SoftwareFallback(self.host)
+        self.beat_ns = pool.workers[0].beat_ns
+        self.clock = BeatClock()
+        self.queues = JobQueues(self.config)
+        self.bus = SharedBus(self.host, self.beat_ns)
+        self.telemetry = ServiceTelemetry()
+        self._next_id = 0
+        self._seq = 0
+        self._inflight: List[Tuple[float, int, _Execution]] = []
+        self._retry_ready: Deque[Tuple[_JobState, TextShard]] = deque()
+        self._completed: Dict[int, JobResult] = {}
+        for w in pool:
+            stats = self.telemetry.worker_stats(w.name, w.capacity)
+            stats.died = not w.is_live
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        pattern,
+        text: Sequence[str],
+        tenant: str = "default",
+        priority: Priority = Priority.BATCH,
+    ) -> int:
+        """Admit one query; returns its job id.
+
+        Raises :class:`BackpressureError` when the priority class's
+        bounded queue is full and ``degrade_when_saturated`` is off;
+        otherwise a saturated submission runs on the host CPU's software
+        matcher immediately (slower, never wrong).
+        """
+        parsed = self._parse(pattern)
+        chars = self.pool.alphabet.validate_text(text)
+        job = MatchJob(
+            job_id=self._next_id,
+            tenant=tenant,
+            priority=priority,
+            pattern=parsed,
+            text=chars,
+            submitted_beat=self.clock.now,
+        )
+        self._next_id += 1
+        self.telemetry.submitted += 1
+        if not chars:
+            self._complete_empty(job)
+            return job.job_id
+        try:
+            self.queues.put(priority, tenant, job)
+        except BackpressureError:
+            self.telemetry.backpressure_hits += 1
+            if not self.config.degrade_when_saturated:
+                self.telemetry.submitted -= 1
+                raise
+            self._complete_software(job)
+        return job.job_id
+
+    def _parse(self, pattern) -> List[PatternChar]:
+        if pattern and not isinstance(pattern, str) and all(
+            isinstance(pc, PatternChar) for pc in pattern
+        ):
+            return list(pattern)
+        return parse_pattern(pattern, self.pool.alphabet)
+
+    # -- draining ----------------------------------------------------------
+
+    def drain(self) -> List[JobResult]:
+        """Run the farm until every admitted job has completed; returns
+        all results so far, in job-id order."""
+        while self.queues.depth() or self._retry_ready or self._inflight:
+            self._assign_all()
+            if not self._inflight:
+                if self.pool.n_live == 0:
+                    self._degrade_remaining()
+                    continue
+                raise ServiceError(
+                    "scheduler stalled with live workers and queued jobs"
+                )
+            _, _, execution = heapq.heappop(self._inflight)
+            self.clock.advance_to(execution.finish_beat)
+            self._complete_execution(execution)
+        self._sync_telemetry()
+        return [self._completed[i] for i in sorted(self._completed)]
+
+    def results(self) -> List[JobResult]:
+        """Completed results so far (without draining)."""
+        return [self._completed[i] for i in sorted(self._completed)]
+
+    # -- assignment --------------------------------------------------------
+
+    def _assign_all(self) -> None:
+        while True:
+            idle = self.pool.idle_workers()
+            if not idle:
+                return
+            if self._retry_ready:
+                state, shard = self._retry_ready.popleft()
+                worker = self._choose_worker(idle, len(state.job.pattern))
+                self._launch(state, shard, worker)
+                continue
+            job = self.queues.pop()
+            if job is None:
+                return
+            self._start_job(job)
+
+    @staticmethod
+    def _choose_worker(
+        idle: Sequence[PoolWorker], pattern_len: int
+    ) -> PoolWorker:
+        """Best fit: the smallest worker the pattern fits on; otherwise
+        the largest worker (fewest multipass runs)."""
+        fitting = [w for w in idle if w.fits(pattern_len)]
+        if fitting:
+            return min(fitting, key=lambda w: (w.capacity, w.name))
+        return max(idle, key=lambda w: (w.capacity, w.name))
+
+    def _start_job(self, job: MatchJob) -> None:
+        idle = self.pool.idle_workers()
+        plen, tlen = len(job.pattern), len(job.text)
+        fitting = sorted(
+            (w for w in idle if w.fits(plen)), key=lambda w: (w.capacity, w.name)
+        )
+        if tlen >= self.config.wide_text_threshold and len(fitting) >= 2:
+            plan = plan_shards(
+                plen,
+                tlen,
+                len(fitting),
+                self.config.max_shards,
+                self.config.min_shard_chars,
+            )
+            if plan.mode is ShardMode.TEXT_SHARDED:
+                state = _JobState(
+                    job, plan, pending={s.index: s for s in plan.shards}
+                )
+                for shard, worker in zip(plan.shards, fitting):
+                    self._launch(state, shard, worker)
+                return
+        worker = self._choose_worker(idle, plen)
+        mode = ShardMode.DIRECT if worker.fits(plen) else ShardMode.MULTIPASS
+        whole = TextShard(0, 0, tlen - 1, 0)
+        state = _JobState(job, ShardPlan(mode, [whole]), pending={0: whole})
+        self._launch(state, whole, worker)
+
+    def _launch(
+        self, state: _JobState, shard: TextShard, worker: PoolWorker
+    ) -> None:
+        now = self.clock.now
+        if state.started_beat is None:
+            state.started_beat = now
+        worker.state = WorkerState.BUSY
+        plen = len(state.job.pattern)
+        n_fed = shard.n_fed
+        service = worker.service_beats(plen, n_fed)
+        chars = worker.transfer_chars(plen, n_fed)
+        fault = self.faults.sample()
+        if fault is not None and fault.kind is FaultKind.WORKER_DEATH:
+            # The stream dies partway through; beats and bus time up to
+            # the failure point are burned, nothing useful comes back.
+            burned = max(1.0, fault.at_fraction * service)
+            self.bus.reserve(int(chars * fault.at_fraction), now)
+            finish = now + burned
+        else:
+            extra = fault.extra_beats if fault is not None else 0
+            bus_done = self.bus.reserve(chars, now)
+            finish = max(now + service + extra, bus_done)
+        self._seq += 1
+        execution = _Execution(
+            self._seq, state, shard, worker, now, finish, fault
+        )
+        heapq.heappush(self._inflight, (finish, self._seq, execution))
+
+    # -- completion --------------------------------------------------------
+
+    def _complete_execution(self, execution: _Execution) -> None:
+        state, shard, worker = execution.state, execution.shard, execution.worker
+        job = state.job
+        stats = self.telemetry.worker_stats(worker.name, worker.capacity)
+        stats.executions += 1
+        stats.busy_beats += execution.finish_beat - execution.start_beat
+        fault = execution.fault
+        if fault is not None and fault.kind is FaultKind.WORKER_DEATH:
+            worker.state = WorkerState.DEAD
+            stats.died = True
+            self.telemetry.deaths += 1
+            job.attempts += 1
+            if self.retry.should_retry(job.attempts) and self.pool.n_live > 0:
+                self.telemetry.retries += 1
+                self._retry_ready.append((state, shard))
+            else:
+                self._shard_software(state, shard)
+            return
+        worker.state = WorkerState.IDLE
+        if fault is not None and fault.kind is FaultKind.STUCK_BEATS:
+            stats.stuck_events += 1
+            self.telemetry.stuck_events += 1
+        feed = shard.feed(job.text)
+        results = worker.run_match(job.pattern, feed)
+        state.shard_results[shard.index] = results
+        state.shard_finish[shard.index] = execution.finish_beat
+        state.service_beats += execution.finish_beat - execution.start_beat
+        state.workers_used.append(worker.name)
+        del state.pending[shard.index]
+        if state.done:
+            self._finalize(state)
+
+    def _shard_software(self, state: _JobState, shard: TextShard) -> None:
+        """Retries exhausted (or no live workers): the host CPU finishes
+        this shard with the software baseline."""
+        job = state.job
+        feed = shard.feed(job.text)
+        results = self.fallback.match(job.pattern, feed)
+        beats = self.fallback.beats(len(job.pattern), len(feed), self.beat_ns)
+        finish = self.clock.now + beats
+        state.shard_results[shard.index] = results
+        state.shard_finish[shard.index] = finish
+        state.service_beats += beats
+        state.via_fallback = True
+        self.telemetry.fallbacks += 1
+        del state.pending[shard.index]
+        if state.done:
+            self._finalize(state)
+
+    def _finalize(self, state: _JobState) -> None:
+        job, plan = state.job, state.plan
+        if plan.mode is ShardMode.TEXT_SHARDED:
+            ordered = [state.shard_results[s.index] for s in plan.shards]
+            results = merge_shard_results(plan.shards, ordered, len(job.text))
+        else:
+            results = state.shard_results[0]
+        finished = max(state.shard_finish.values())
+        started = state.started_beat if state.started_beat is not None else finished
+        mode = "software" if state.via_fallback and not state.workers_used \
+            else plan.mode.value
+        self._record(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priority=job.priority,
+                results=results,
+                submitted_beat=job.submitted_beat,
+                started_beat=started,
+                finished_beat=finished,
+                wait_beats=started - job.submitted_beat,
+                service_beats=state.service_beats,
+                mode=mode,
+                workers=tuple(state.workers_used),
+                attempts=job.attempts,
+                via_fallback=state.via_fallback,
+            )
+        )
+
+    def _complete_empty(self, job: MatchJob) -> None:
+        now = self.clock.now
+        self._record(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priority=job.priority,
+                results=[],
+                submitted_beat=now,
+                started_beat=now,
+                finished_beat=now,
+                wait_beats=0.0,
+                service_beats=0.0,
+                mode=ShardMode.DIRECT.value,
+                workers=(),
+                attempts=0,
+                via_fallback=False,
+            )
+        )
+
+    def _complete_software(self, job: MatchJob) -> None:
+        """Saturation path: serve immediately from the host CPU."""
+        results = self.fallback.match(job.pattern, job.text)
+        beats = self.fallback.beats(
+            len(job.pattern), len(job.text), self.beat_ns
+        )
+        now = self.clock.now
+        self.telemetry.fallbacks += 1
+        self._record(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priority=job.priority,
+                results=results,
+                submitted_beat=now,
+                started_beat=now,
+                finished_beat=now + beats,
+                wait_beats=0.0,
+                service_beats=beats,
+                mode="software",
+                workers=(),
+                attempts=job.attempts,
+                via_fallback=True,
+            )
+        )
+
+    def _degrade_remaining(self) -> None:
+        """Every live worker is gone: drain all remaining work through
+        the software fallback (availability over throughput)."""
+        while self._retry_ready:
+            state, shard = self._retry_ready.popleft()
+            self._shard_software(state, shard)
+        while True:
+            job = self.queues.pop()
+            if job is None:
+                break
+            self._complete_software(job)
+
+    # -- accounting --------------------------------------------------------
+
+    def _record(self, result: JobResult) -> None:
+        self._completed[result.job_id] = result
+        self.telemetry.completed += 1
+        self.telemetry.text_chars_served += len(result.results)
+        self.telemetry.record_job(
+            result.priority, result.wait_beats, result.service_beats
+        )
+
+    def _sync_telemetry(self) -> None:
+        t = self.telemetry
+        t.queue_high_water = dict(self.queues.high_water)
+        t.bus_busy_beats = self.bus.busy_beats
+        t.bus_chars_moved = self.bus.chars_moved
+        finishes = [r.finished_beat for r in self._completed.values()]
+        t.makespan_beats = max([self.clock.now] + finishes)
+
+    def report(self) -> str:
+        """The telemetry tables (render after a drain)."""
+        self._sync_telemetry()
+        return self.telemetry.render()

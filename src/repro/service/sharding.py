@@ -1,0 +1,146 @@
+"""Sharding: long patterns via multipass, wide texts across workers.
+
+Two independent axes, both straight from Section 3.4:
+
+* A pattern longer than a worker's cell count runs the *multipass*
+  scheme on that worker (handled inside
+  :meth:`~repro.service.pool.PoolWorker.run_match`); the plan records it
+  so telemetry and timing use multipass rates.
+* A text much longer than a pattern can be cut into chunks and matched
+  on several workers at once.  Each chunk overlaps its left neighbour by
+  ``k = len(pattern) - 1`` characters so every window is seen whole;
+  chunk results for the overlap prefix are discarded on merge, exactly
+  like the substring bookkeeping of the multipass derivation.
+
+The merge reassembles per-shard result streams into the single oracle
+stream through :class:`repro.streams.ResultStream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence
+
+from ..errors import ServiceError
+from ..streams import ResultStream
+
+
+class ShardMode(Enum):
+    """How a job is mapped onto the pool."""
+
+    DIRECT = "direct"            # one worker, pattern fits
+    MULTIPASS = "multipass"      # one worker, pattern longer than its cells
+    TEXT_SHARDED = "text-sharded"  # several workers, text split with overlap
+
+
+@dataclass(frozen=True)
+class TextShard:
+    """One contiguous slice of responsibility over the text.
+
+    The shard owns output positions ``out_lo..out_hi`` (inclusive) and is
+    fed ``text[feed_start : out_hi + 1]`` -- the owned slice plus the
+    ``k``-character overlap needed to complete its leftmost window.
+    """
+
+    index: int
+    out_lo: int
+    out_hi: int
+    feed_start: int
+
+    @property
+    def n_owned(self) -> int:
+        return self.out_hi - self.out_lo + 1
+
+    @property
+    def n_fed(self) -> int:
+        return self.out_hi - self.feed_start + 1
+
+    def feed(self, text: Sequence[str]) -> Sequence[str]:
+        return text[self.feed_start : self.out_hi + 1]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The placement decision for one job."""
+
+    mode: ShardMode
+    shards: List[TextShard]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(
+    pattern_len: int,
+    text_len: int,
+    n_workers: int,
+    max_shards: int = 4,
+    min_shard_chars: int = 64,
+) -> ShardPlan:
+    """Cut ``[0, text_len)`` into at most ``min(n_workers, max_shards)``
+    overlapping shards; falls back to one shard when the text is too
+    short to be worth splitting."""
+    if pattern_len <= 0:
+        raise ServiceError("pattern length must be positive")
+    if text_len < 0:
+        raise ServiceError("text length cannot be negative")
+    if n_workers <= 0:
+        raise ServiceError("need at least one worker to plan")
+    k = pattern_len - 1
+    whole = ShardPlan(ShardMode.DIRECT, [TextShard(0, 0, text_len - 1, 0)])
+    if text_len == 0:
+        return ShardPlan(ShardMode.DIRECT, [])
+    n = min(n_workers, max_shards, max(1, text_len // min_shard_chars))
+    # A shard must own at least one position past its overlap to be useful.
+    n = min(n, max(1, text_len // max(1, k + 1)))
+    if n <= 1:
+        return whole
+    base = text_len // n
+    extra = text_len % n
+    shards: List[TextShard] = []
+    lo = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        hi = lo + size - 1
+        shards.append(TextShard(i, lo, hi, max(0, lo - k)))
+        lo = hi + 1
+    return ShardPlan(ShardMode.TEXT_SHARDED, shards)
+
+
+def merge_shard_results(
+    shards: Sequence[TextShard],
+    shard_results: Sequence[Sequence[bool]],
+    text_len: int,
+) -> List[bool]:
+    """Reassemble per-shard result streams into the oracle stream.
+
+    Each shard's results are local to its fed slice; position ``j`` of
+    shard *s* is global position ``s.feed_start + j``.  Only owned
+    positions are kept; overlap-prefix results (incomplete windows from
+    the shard's local point of view are already False, and duplicated
+    positions belong to the left neighbour) are dropped.
+    """
+    if len(shards) != len(shard_results):
+        raise ServiceError(
+            f"{len(shards)} shards but {len(shard_results)} result streams"
+        )
+    stream = ResultStream()
+    filled = [False] * text_len
+    out = [False] * text_len
+    for shard, results in zip(shards, shard_results):
+        if len(results) != shard.n_fed:
+            raise ServiceError(
+                f"shard {shard.index} fed {shard.n_fed} chars but returned "
+                f"{len(results)} results"
+            )
+        for g in range(shard.out_lo, shard.out_hi + 1):
+            out[g] = bool(results[g - shard.feed_start])
+            filled[g] = True
+    if not all(filled):
+        missing = filled.index(False)
+        raise ServiceError(f"no shard owns text position {missing}")
+    for bit in out:
+        stream.record_result(bit)
+    return stream.results

@@ -1,0 +1,156 @@
+"""Farm observability: per-job and per-worker counters.
+
+Everything the scheduler knows about its own behaviour -- queue depth
+high-water marks, wait and service beats by priority class, per-worker
+utilization, retries, deaths, fallbacks, bus occupancy -- accumulated as
+plain counters and rendered through the same
+:class:`repro.analysis.report.Table` the paper-figure benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.report import Table
+from .scheduler import Priority
+
+
+@dataclass
+class WorkerStats:
+    """Lifetime counters for one pool worker."""
+
+    name: str
+    capacity: int
+    executions: int = 0
+    busy_beats: float = 0.0
+    stuck_events: int = 0
+    died: bool = False
+
+    def utilization(self, makespan_beats: float) -> float:
+        if makespan_beats <= 0:
+            return 0.0
+        return min(1.0, self.busy_beats / makespan_beats)
+
+
+@dataclass
+class ClassStats:
+    """Latency accounting for one priority class."""
+
+    jobs: int = 0
+    total_wait_beats: float = 0.0
+    total_service_beats: float = 0.0
+
+    @property
+    def mean_wait_beats(self) -> float:
+        return self.total_wait_beats / self.jobs if self.jobs else 0.0
+
+    @property
+    def mean_service_beats(self) -> float:
+        return self.total_service_beats / self.jobs if self.jobs else 0.0
+
+
+@dataclass
+class ServiceTelemetry:
+    """The farm's aggregate counters."""
+
+    submitted: int = 0
+    completed: int = 0
+    retries: int = 0
+    deaths: int = 0
+    stuck_events: int = 0
+    fallbacks: int = 0
+    backpressure_hits: int = 0
+    text_chars_served: int = 0
+    bus_busy_beats: float = 0.0
+    bus_chars_moved: int = 0
+    makespan_beats: float = 0.0
+    queue_high_water: Dict[Priority, int] = field(default_factory=dict)
+    by_class: Dict[Priority, ClassStats] = field(
+        default_factory=lambda: {p: ClassStats() for p in Priority}
+    )
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+
+    # -- accumulation hooks (called by the service) -----------------------
+
+    def worker_stats(self, name: str, capacity: int) -> WorkerStats:
+        if name not in self.workers:
+            self.workers[name] = WorkerStats(name=name, capacity=capacity)
+        return self.workers[name]
+
+    def record_job(
+        self, priority: Priority, wait_beats: float, service_beats: float
+    ) -> None:
+        cls = self.by_class.setdefault(priority, ClassStats())
+        cls.jobs += 1
+        cls.total_wait_beats += wait_beats
+        cls.total_service_beats += service_beats
+
+    # -- derived ----------------------------------------------------------
+
+    def aggregate_chars_per_s(self, beat_ns: float) -> float:
+        """Text characters served per second of simulated time."""
+        if self.makespan_beats <= 0:
+            return 0.0
+        return self.text_chars_served / (self.makespan_beats * beat_ns * 1e-9)
+
+    def bus_utilization(self) -> float:
+        if self.makespan_beats <= 0:
+            return 0.0
+        return min(1.0, self.bus_busy_beats / self.makespan_beats)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """A bench-style report: farm summary, class latencies, workers."""
+        summary = Table(["metric", "value"], title="matcher farm")
+        for name, value in [
+            ("jobs submitted", self.submitted),
+            ("jobs completed", self.completed),
+            ("retries", self.retries),
+            ("worker deaths", self.deaths),
+            ("stuck-beat events", self.stuck_events),
+            ("software fallbacks", self.fallbacks),
+            ("backpressure hits", self.backpressure_hits),
+            ("text chars served", self.text_chars_served),
+            ("makespan beats", self.makespan_beats),
+            ("bus utilization", self.bus_utilization()),
+        ]:
+            summary.row([name, value])
+
+        classes = Table(
+            ["class", "jobs", "mean wait beats", "mean service beats",
+             "queue high-water"],
+            title="priority classes",
+        )
+        for p in sorted(self.by_class):
+            cls = self.by_class[p]
+            classes.row(
+                [
+                    p.name.lower(),
+                    cls.jobs,
+                    cls.mean_wait_beats,
+                    cls.mean_service_beats,
+                    self.queue_high_water.get(p, 0),
+                ]
+            )
+
+        workers = Table(
+            ["worker", "cells", "executions", "busy beats", "utilization",
+             "stuck", "state"],
+            title="workers",
+        )
+        for name in sorted(self.workers):
+            w = self.workers[name]
+            workers.row(
+                [
+                    w.name,
+                    w.capacity,
+                    w.executions,
+                    w.busy_beats,
+                    w.utilization(self.makespan_beats),
+                    w.stuck_events,
+                    "dead" if w.died else "alive",
+                ]
+            )
+        return "\n\n".join(t.render() for t in (summary, classes, workers))

@@ -133,3 +133,52 @@ class TestHostSystem:
         dev = PatternMatcherDevice(ChipSpec(4, 2), Alphabet("ABCD"))
         with pytest.raises(HostError):
             dev.process("AB")
+
+
+class TestHostSystemEdgeCases:
+    def build(self):
+        system = HostSystem(HostSpec())
+        system.attach(SystolicSorterDevice(n_cells=16))
+        system.attach(FFTDevice(block_size=8))
+        return system
+
+    def test_detach_missing_device(self):
+        system = self.build()
+        with pytest.raises(HostError):
+            system.detach("nonexistent")
+
+    def test_empty_pool_run_raises_host_error(self):
+        system = HostSystem()
+        with pytest.raises(HostError, match="no devices attached"):
+            system.run("sorter", [1.0])
+
+    def test_reattach_after_detach(self):
+        system = self.build()
+        system.detach("sorter")
+        assert "sorter" not in system.devices
+        system.attach(SystolicSorterDevice(n_cells=4))
+        assert system.run("sorter", [2.0, 1.0]) == [1.0, 2.0]
+
+    def test_empty_stream_job(self):
+        system = self.build()
+        assert system.run("sorter", []) == []
+        assert system.run("fft", []) == []
+        # Empty jobs are still accounted, at zero cost.
+        assert len(system.jobs) == 2
+        assert system.total_device_time_ns() == 0.0
+
+    def test_total_device_time_across_mixed_devices(self):
+        system = self.build()
+        matcher = PatternMatcherDevice(ChipSpec(4, 2), Alphabet("ABCD"))
+        matcher.load_pattern("AB")
+        system.attach(matcher)
+        system.run("sorter", [3.0, 1.0, 2.0])
+        system.run("fft", [1.0] * 8)
+        system.run("pattern-matcher", "ABAB")
+        assert len(system.jobs) == 3
+        # Each job contributes max(transfer, device) -- streaming overlap.
+        expected = sum(max(j.transfer_ns, j.device_ns) for j in system.jobs)
+        assert system.total_device_time_ns() == pytest.approx(expected)
+        assert all(j.total_ns > 0 for j in system.jobs)
+        by_device = {j.device for j in system.jobs}
+        assert by_device == {"sorter", "fft", "pattern-matcher"}

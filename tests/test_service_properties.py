@@ -1,0 +1,128 @@
+"""Property: the farm's answers are bit-identical to the oracle.
+
+Whatever the scheduler does -- direct placement, multipass for long
+patterns, text sharding across workers, retry-with-reassignment after a
+worker death, stuck-beat stalls, degradation to the software baseline --
+every completed job's result stream must equal
+:func:`repro.core.reference.match_oracle` on that job's pattern and
+text.  Routing is a performance decision; it is never allowed to be a
+correctness decision.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet, match_oracle, parse_pattern
+from repro.chip.chip import ChipSpec
+from repro.service import (
+    FaultInjector,
+    MatcherService,
+    Priority,
+    SchedulerConfig,
+    pool_from_wafers,
+    uniform_pool,
+)
+from repro.wafer.wafer import Wafer
+
+AB = Alphabet("ABCD")
+
+patterns = st.text(alphabet="ABCDX", min_size=1, max_size=14)
+texts = st.text(alphabet="ABCD", min_size=0, max_size=90)
+
+
+@st.composite
+def workloads(draw):
+    jobs = draw(st.lists(st.tuples(patterns, texts), min_size=1, max_size=8))
+    fault_seed = draw(st.integers(0, 2**16))
+    p_death = draw(st.sampled_from([0.0, 0.1, 0.3]))
+    p_stuck = draw(st.sampled_from([0.0, 0.2]))
+    n_workers = draw(st.integers(1, 4))
+    n_cells = draw(st.sampled_from([4, 6, 8]))
+    return jobs, fault_seed, p_death, p_stuck, n_workers, n_cells
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads())
+def test_service_bit_identical_to_oracle_under_faults(workload):
+    jobs, fault_seed, p_death, p_stuck, n_workers, n_cells = workload
+    pool = uniform_pool(n_workers, ChipSpec(n_cells, 2), AB)
+    svc = MatcherService(
+        pool,
+        config=SchedulerConfig(
+            queue_capacity=len(jobs) + 1,
+            wide_text_threshold=48,
+            min_shard_chars=12,
+            max_retries=1,
+        ),
+        faults=FaultInjector(
+            seed=fault_seed, p_death=p_death, p_stuck=p_stuck
+        ),
+    )
+    ids = [
+        svc.submit(
+            p,
+            t,
+            tenant=f"tenant-{i % 3}",
+            priority=Priority.INTERACTIVE if i % 2 else Priority.BATCH,
+        )
+        for i, (p, t) in enumerate(jobs)
+    ]
+    results = {r.job_id: r for r in svc.drain()}
+    assert len(results) == len(jobs)
+    for jid, (p, t) in zip(ids, jobs):
+        want = match_oracle(parse_pattern(p, AB), list(t))
+        assert results[jid].results == want, (
+            f"job {jid} ({p!r} on {t!r}) routed as "
+            f"{results[jid].mode}/attempts={results[jid].attempts} diverged"
+        )
+
+
+def test_seeded_storm_covers_every_routing_path():
+    """One big deterministic run that provably exercises multipass,
+    sharding, retry-reassignment, and the software fallback at once --
+    the acceptance scenario of the farm issue."""
+    rng = random.Random(2026)
+    wafers = [Wafer(2, 6, defect_rate=0.15, seed=s) for s in range(4)]
+    pool = pool_from_wafers(wafers, AB)
+    svc = MatcherService(
+        pool,
+        config=SchedulerConfig(
+            queue_capacity=64,
+            wide_text_threshold=80,
+            min_shard_chars=20,
+            max_retries=1,
+        ),
+        faults=FaultInjector(seed=11, p_death=0.08, p_stuck=0.15),
+    )
+    jobs = []
+    # The first pop happens while the whole pool is idle, so a wide first
+    # job is guaranteed to exercise the text-sharding path.
+    wide_pattern, wide_text = "ABXA", "".join(
+        rng.choice("ABCD") for _ in range(150)
+    )
+    jobs.append((svc.submit(wide_pattern, wide_text, tenant="t0"),
+                 wide_pattern, wide_text))
+    for i in range(39):
+        pattern = "".join(rng.choice("ABCDX") for _ in range(rng.randint(1, 18)))
+        text = "".join(rng.choice("ABCD") for _ in range(rng.randint(0, 160)))
+        jid = svc.submit(pattern, text, tenant=f"t{i % 5}")
+        jobs.append((jid, pattern, text))
+    results = {r.job_id: r for r in svc.drain()}
+    for jid, pattern, text in jobs:
+        want = match_oracle(parse_pattern(pattern, AB), list(text))
+        assert results[jid].results == want
+    modes = {r.mode for r in results.values()}
+    assert {"direct", "multipass", "text-sharded"} <= modes
+    retried = [r for r in results.values() if r.attempts > 0]
+    assert retried, "the storm must exercise retry-with-reassignment"
+    assert all(
+        results[jid].results == match_oracle(parse_pattern(p, AB), list(t))
+        for jid, p, t in jobs
+        if results[jid].attempts > 0
+    )
+    assert svc.telemetry.deaths > 0
+    assert svc.telemetry.makespan_beats > 0
+    assert svc.telemetry.completed == 40
