@@ -1,0 +1,234 @@
+"""Perf-regression harness for the hot paths (PR 2).
+
+Times the layers the event-driven settle and the packed-word fast path
+accelerate, checks each against its slow reference bit for bit, and
+writes the numbers to ``BENCH_pr2.json`` so CI can diff runs:
+
+* ``circuit_settle`` -- the switch-level matcher (``GateLevelMatcher``)
+  driven by the event engine vs :func:`repro.circuit.simulator.settle_reference`,
+  cold and steady-state (warmed partition caches), same result bits.
+* ``char_matching`` -- :class:`repro.core.fastpath.FastMatcher` vs the
+  stepwise systolic model on a >=100 kB text (quick mode shrinks it),
+  both equal to :func:`repro.core.reference.match_oracle`.
+* ``bit_gate_agreement`` -- fast path vs the bit-pipelined array and the
+  transistor-level netlist on the paper's example text.
+* ``service_throughput`` -- wall-clock drain rate of the matcher farm
+  with batched submission, results equal to the oracle.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--quick] [--out PATH]
+
+Exit status is non-zero if any equivalence check fails.  Speedup targets
+(>=5x steady-state settle, >=20x char matching) are recorded as
+``meets_target`` booleans; the full (non-quick) run is the one that
+should clear them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro import Alphabet, BitLevelMatcher, FastMatcher, PatternMatcher, match_oracle
+from repro.chip.chip import ChipSpec
+from repro.circuit import simulator
+from repro.circuit.chipnet import GateLevelMatcher
+from repro.service import MatcherService, uniform_pool
+
+AB4 = Alphabet("ABCD")
+
+
+def _timed(fn: Callable[[], object], repeats: int = 1) -> tuple:
+    """Best-of-``repeats`` wall time (min filters scheduler noise)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def make_text(n_chars: int, symbols: str = "ABCD") -> str:
+    """Deterministic pseudo-random text (no RNG: reproducible runs)."""
+    out = []
+    state = 0x2545F491
+    k = len(symbols)
+    for _ in range(n_chars):
+        # xorshift32: cheap, stable across platforms
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        out.append(symbols[state % k])
+    return "".join(out)
+
+
+def bench_circuit_settle(quick: bool) -> Dict[str, object]:
+    """Event-driven vs reference settle on the transistor-level matcher."""
+    pattern = "AXC"
+    text = "ABCAACACCAB" * (2 if quick else 4)
+    oracle = match_oracle(PatternMatcher(pattern, AB4).pattern, list(text))
+
+    repeats = 1 if quick else 3
+
+    # Reference engine: monkeypatch the module-level entry point that
+    # Circuit.settle re-imports per call.
+    orig = simulator.settle
+    simulator.settle = simulator.settle_reference
+    try:
+        g_ref = GateLevelMatcher(pattern, AB4)
+        ref_s, ref_out = _timed(lambda: g_ref.match(text), repeats)
+    finally:
+        simulator.settle = orig
+
+    g_evt = GateLevelMatcher(pattern, AB4)
+    cold_s, evt_out = _timed(lambda: g_evt.match(text))
+    # Re-runs on the same netlist: partition caches warmed, every beat is
+    # a steady-state beat.  This is the regime a long text lives in.
+    steady_s, evt_out2 = _timed(lambda: g_evt.match(text), repeats)
+
+    ok = evt_out == ref_out == evt_out2 == oracle
+    steady_speedup = ref_s / steady_s if steady_s > 0 else float("inf")
+    return {
+        "scale": f"GateLevelMatcher({pattern!r}, {AB4!r}), "
+                 f"{g_evt.n_transistors} transistors, {len(text)} chars",
+        "reference_s": ref_s,
+        "event_cold_s": cold_s,
+        "event_steady_s": steady_s,
+        "cold_speedup": ref_s / cold_s if cold_s > 0 else float("inf"),
+        "steady_speedup": steady_speedup,
+        "meets_target": steady_speedup >= 5.0,
+        "equivalent": ok,
+    }
+
+
+def bench_char_matching(quick: bool) -> Dict[str, object]:
+    """Packed-word fast path vs the stepwise systolic model."""
+    pattern = "ABXCA"
+    n = 20_000 if quick else 100_000
+    text = make_text(n)
+
+    fast = PatternMatcher(pattern, AB4)  # routes match() to FastMatcher
+    step = PatternMatcher(pattern, AB4, use_fast_path=False)
+    fast_s, fast_out = _timed(lambda: fast.match(text))
+    step_s, step_out = _timed(lambda: step.match(text))
+    oracle = match_oracle(fast.pattern, list(text))
+
+    ok = fast_out == step_out == oracle
+    speedup = step_s / fast_s if fast_s > 0 else float("inf")
+    return {
+        "pattern": pattern,
+        "text_chars": n,
+        "fast_s": fast_s,
+        "stepwise_s": step_s,
+        "speedup": speedup,
+        "meets_target": speedup >= 20.0,
+        "equivalent": ok,
+    }
+
+
+def bench_bit_gate_agreement(quick: bool) -> Dict[str, object]:
+    """Fast path vs bit-pipelined array vs transistor netlist."""
+    pattern = "AXC"
+    gate_text = "ABCAACACCAB"
+    bit_text = "ABCAACACCAB" * (4 if quick else 16)
+
+    fast = FastMatcher(pattern, AB4)
+    bit = BitLevelMatcher(pattern, AB4)
+    gate = GateLevelMatcher(pattern, AB4)
+
+    bit_s, bit_out = _timed(lambda: bit.match(bit_text))
+    gate_s, gate_out = _timed(lambda: gate.match(gate_text))
+    return {
+        "pattern": pattern,
+        "bit_text_chars": len(bit_text),
+        "gate_text_chars": len(gate_text),
+        "bit_level_s": bit_s,
+        "gate_level_s": gate_s,
+        "fast_eq_bit": fast.match(bit_text) == bit_out,
+        "fast_eq_gate": fast.match(gate_text) == gate_out,
+    }
+
+
+def bench_service_throughput(quick: bool) -> Dict[str, object]:
+    """Wall-clock drain rate of the farm with batched submission."""
+    pattern = "ABXA"
+    n_jobs = 8 if quick else 48
+    doc_chars = 1_000 if quick else 4_000
+    texts = [make_text(doc_chars) for _ in range(n_jobs)]
+
+    svc = MatcherService(uniform_pool(8, ChipSpec(16, 2), AB4))
+    jids = svc.submit_many(pattern, texts)
+    wall_s, results = _timed(svc.drain)
+
+    parsed = PatternMatcher(pattern, AB4).pattern
+    ok = all(
+        results[jid].results == match_oracle(parsed, list(text))
+        for jid, text in zip(jids, texts)
+    )
+    chars = n_jobs * doc_chars
+    return {
+        "jobs": n_jobs,
+        "chars_per_job": doc_chars,
+        "wall_s": wall_s,
+        "jobs_per_s": n_jobs / wall_s if wall_s > 0 else float("inf"),
+        "chars_per_s": chars / wall_s if wall_s > 0 else float("inf"),
+        "makespan_beats": max(r.finished_beat for r in results),
+        "equivalent": ok,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small inputs for CI smoke runs (equivalence still checked)",
+    )
+    ap.add_argument(
+        "--out", default="BENCH_pr2.json", help="output JSON path"
+    )
+    args = ap.parse_args(argv)
+
+    report: Dict[str, object] = {
+        "meta": {
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+    }
+    sections = [
+        ("circuit_settle", bench_circuit_settle),
+        ("char_matching", bench_char_matching),
+        ("bit_gate_agreement", bench_bit_gate_agreement),
+        ("service_throughput", bench_service_throughput),
+    ]
+    failed = []
+    for name, fn in sections:
+        print(f"[{name}] ...", flush=True)
+        section = fn(args.quick)
+        report[name] = section
+        eq_keys = [k for k in section if k.startswith(("equivalent", "fast_eq"))]
+        if not all(section[k] for k in eq_keys):
+            failed.append(name)
+        for k, v in section.items():
+            if isinstance(v, float):
+                v = f"{v:.6g}"
+            print(f"    {k}: {v}")
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if failed:
+        print(f"EQUIVALENCE FAILURES in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

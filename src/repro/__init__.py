@@ -30,6 +30,7 @@ from .alphabet import (
 )
 from .core import (
     BitLevelMatcher,
+    FastMatcher,
     MatchReport,
     PatternMatcher,
     SystolicMatcherArray,
@@ -45,6 +46,7 @@ __all__ = [
     "ASCII_UPPER",
     "Alphabet",
     "BitLevelMatcher",
+    "FastMatcher",
     "MatchReport",
     "PROTOTYPE_ALPHABET",
     "PatternChar",

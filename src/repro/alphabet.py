@@ -131,7 +131,14 @@ class Alphabet:
 
     def validate_text(self, text: Iterable[str]) -> List[str]:
         """Validate every character of *text*; return it as a list."""
-        return [self.require(c) for c in text]
+        index = self._index
+        chars = list(text)
+        for c in chars:
+            if c not in index:
+                raise AlphabetError(
+                    f"{c!r} is not in alphabet {self!r}"
+                ) from None
+        return chars
 
     # -- binary encoding (Figure 3-4: high-order bit enters first) --------
 

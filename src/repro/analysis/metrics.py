@@ -44,7 +44,7 @@ def comparison_counts(pattern: str, text: str, alphabet: Alphabet) -> Dict[str, 
     out["shift-or (word ops)"] = counter.comparisons
 
     matcher = PatternMatcher(pattern, alphabet)
-    matcher.match(text)
+    matcher.report(text)  # stepwise run: fire_count only exists there
     out["systolic (parallel cell firings)"] = matcher.array.array.fire_count
     return out
 
@@ -56,6 +56,5 @@ def utilization_profile(
     out: List[float] = []
     for text in texts:
         m = PatternMatcher(pattern, alphabet)
-        m.match(text)
-        out.append(m.array.utilization())
+        out.append(m.report(text).utilization)
     return out

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..alphabet import Alphabet, PatternChar, parse_pattern
 from ..errors import ChipError, PatternError
 from ..core.array import SystolicMatcherArray
+from ..core.fastpath import FastMatcher
 from ..core.matcher import MatchReport
 from ..core.multipass import multipass_match
 from ..streams import RecirculatingPattern
@@ -76,6 +77,7 @@ class PatternMatchingChip:
         self.array = SystolicMatcherArray(spec.n_cells)
         self._pattern: Optional[List[PatternChar]] = None
         self._stream: Optional[RecirculatingPattern] = None
+        self._fast: Optional[FastMatcher] = None
 
     # -- pattern loading ------------------------------------------------------
 
@@ -95,6 +97,7 @@ class PatternMatchingChip:
             )
         self._pattern = parsed
         self._stream = RecirculatingPattern(parsed)
+        self._fast = FastMatcher(parsed, self.alphabet)
 
     @property
     def pattern(self) -> List[PatternChar]:
@@ -105,9 +108,15 @@ class PatternMatchingChip:
     # -- operation ----------------------------------------------------------------
 
     def match(self, text: Sequence[str]) -> List[bool]:
-        """Stream *text* through the chip; one result bit per character."""
-        report = self.report(text)
-        return report.results
+        """Stream *text* through the chip; one result bit per character.
+
+        Runs on the bit-parallel fast path (equivalent to the stepwise
+        array; see :mod:`repro.core.fastpath`); :meth:`report` runs the
+        beat-accurate array when timing figures are needed.
+        """
+        if self._fast is None:
+            raise ChipError("no pattern loaded")
+        return self._fast.match(text)
 
     def report(self, text: Sequence[str]) -> MatchReport:
         if self._stream is None:

@@ -87,6 +87,12 @@ class Circuit:
         self.time_ns: float = 0.0
         self._adjacency_dirty = True
         self._adjacency: Dict[str, List[Enhancement]] = {}
+        # Event-engine bookkeeping: the topology version invalidates the
+        # engine's static index; _dirty_ext collects externally-perturbed
+        # node names (pins toggled between settles).
+        self._topo_version = 0
+        self._dirty_ext: Set[str] = set()
+        self._event_engine = None
         self.node(VDD).value = HIGH
         self.node(VDD).strength = Strength.FORCED
         self.node(GND).value = LOW
@@ -101,6 +107,7 @@ class Circuit:
             n = Node(name)
             self.nodes[name] = n
             self._adjacency_dirty = True
+            self._topo_version += 1
         return n
 
     def add_enhancement(self, gate: str, a: str, b: str, label: str = "") -> Enhancement:
@@ -110,6 +117,7 @@ class Circuit:
         e = Enhancement(gate, a, b, label)
         self.transistors.append(e)
         self._adjacency_dirty = True
+        self._topo_version += 1
         return e
 
     def add_depletion_load(self, node: str, label: str = "") -> DepletionLoad:
@@ -117,6 +125,7 @@ class Circuit:
         self.node(node)
         d = DepletionLoad(node, label)
         self.loads.append(d)
+        self._topo_version += 1
         return d
 
     def merge(self, other: "Circuit", prefix: str = "",
@@ -151,18 +160,26 @@ class Circuit:
             raise CircuitError(f"bad input value {value!r}")
         self.node(name)
         self.inputs[name] = value
+        self._dirty_ext.add(name)
 
     def release_input(self, name: str) -> None:
         """Stop forcing a node; it keeps charge until re-driven or decayed."""
-        self.inputs.pop(name, None)
+        if self.inputs.pop(name, None) is not None:
+            self._dirty_ext.add(name)
 
     # -- evaluation ---------------------------------------------------------------
 
-    def settle(self, max_iterations: int = 60) -> None:
-        """Relax the circuit to a stable state (see simulator module)."""
+    def settle(self, max_iterations: int = 60,
+               strict_decay: bool = False) -> int:
+        """Relax the circuit to a stable state (see simulator module).
+
+        Returns the number of passes taken; ``strict_decay=True`` raises
+        :class:`~repro.errors.ChargeDecayError` instead of reading decayed
+        charge as UNKNOWN.
+        """
         from .simulator import settle as _settle
 
-        _settle(self, max_iterations)
+        return _settle(self, max_iterations, strict_decay=strict_decay)
 
     def advance_time(self, dt_ns: float) -> None:
         """Advance simulated time (charge on undriven nodes ages)."""

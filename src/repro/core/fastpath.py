@@ -1,0 +1,99 @@
+"""Packed-word fast path for character-level matching.
+
+The systolic array computes, for every text position *i*, the AND-chain
+
+    result[i] = all(p[j] matches text[i - k + j]  for j in 0..k)
+
+one cell-beat at a time.  :class:`FastMatcher` computes the same bits with
+the classic shift-and recurrence over precomputed per-symbol masks: state
+word ``S`` keeps one bit per pattern position (bit *j* set iff the last
+``j + 1`` text characters match the first ``j + 1`` pattern positions),
+and each text character advances every position at once::
+
+    S = ((S << 1) | 1) & mask[ch]       # mask[ch] bit j set iff p[j] ~ ch
+    result.append(bool(S & accept))     # accept = 1 << (len(pattern) - 1)
+
+Wild cards cost nothing: a wild position's bit is simply set in every
+symbol's mask.  Python integers are arbitrary-width, so one "word" covers
+any pattern length -- patterns longer than a chip, which the hardware
+handles by cascading or multipass runs, collapse into the same loop.
+
+This is a *model shortcut*, not a different matcher: the property tests in
+``tests/test_fastpath.py`` assert bit-for-bit agreement with the stepwise
+:class:`~repro.core.array.SystolicMatcherArray` model and with
+:func:`~repro.core.reference.match_oracle` over random patterns, texts and
+alphabet widths.  :class:`~repro.core.matcher.PatternMatcher` routes plain
+``match()`` calls here (beat-accurate runs and traces still use the
+stepwise array), which is what makes whole-corpus runs and the service
+farm measure scheduling rather than interpreter overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..alphabet import Alphabet, PatternChar, parse_pattern, pattern_to_string
+
+__all__ = ["FastMatcher"]
+
+
+class FastMatcher:
+    """Bit-parallel (shift-and) matcher, equivalent to the systolic array.
+
+    Parameters mirror :class:`~repro.core.matcher.PatternMatcher`: a
+    pattern (string or pre-parsed :class:`~repro.alphabet.PatternChar`
+    sequence, wild cards included) over an :class:`~repro.alphabet.Alphabet`.
+    """
+
+    def __init__(
+        self,
+        pattern,
+        alphabet: Alphabet,
+        wildcard_symbol: str = "X",
+    ):
+        self.alphabet = alphabet
+        if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
+            self.pattern: List[PatternChar] = list(pattern)
+        else:
+            self.pattern = parse_pattern(pattern, alphabet, wildcard_symbol)
+        wild_bits = 0
+        for j, pc in enumerate(self.pattern):
+            if pc.is_wild:
+                wild_bits |= 1 << j
+        masks: Dict[str, int] = {s: wild_bits for s in alphabet.symbols}
+        for j, pc in enumerate(self.pattern):
+            if not pc.is_wild:
+                masks[pc.char] |= 1 << j
+        self._masks = masks
+        self._accept = 1 << (len(self.pattern) - 1)
+
+    @property
+    def pattern_string(self) -> str:
+        return pattern_to_string(self.pattern)
+
+    @property
+    def pattern_length(self) -> int:
+        return len(self.pattern)
+
+    def match(self, text: Sequence[str]) -> List[bool]:
+        """One result bit per text character (Section 3.1 semantics)."""
+        masks = self._masks
+        accept = self._accept
+        out: List[bool] = []
+        append = out.append
+        state = 0
+        ch = None
+        try:
+            for ch in text:
+                state = ((state << 1) | 1) & masks[ch]
+                append((state & accept) != 0)
+        except KeyError:
+            # Same failure mode (and message) as the validating paths.
+            self.alphabet.require(ch)
+            raise
+        return out
+
+    def find(self, text: Sequence[str]) -> List[int]:
+        """Start positions of every matching substring."""
+        k = len(self.pattern) - 1
+        return [i - k for i, r in enumerate(self.match(text)) if r]

@@ -24,6 +24,7 @@ from ..errors import PatternError
 from ..streams import RecirculatingPattern
 from ..systolic.tracing import TraceRecorder
 from .array import SystolicMatcherArray
+from .fastpath import FastMatcher
 from .reference import match_oracle
 
 
@@ -72,6 +73,13 @@ class PatternMatcher:
     trace:
         When True, a :class:`~repro.systolic.tracing.TraceRecorder` is
         attached and exposed as :attr:`recorder`.
+    use_fast_path:
+        When True (the default), plain :meth:`match` calls run on the
+        bit-parallel :class:`~repro.core.fastpath.FastMatcher` (proven
+        equivalent to the stepwise array by the property tests); pass
+        False to force every call through the beat-by-beat simulation.
+        :meth:`report` always runs the stepwise array, since its beat and
+        utilization figures only exist there.
     """
 
     def __init__(
@@ -81,6 +89,7 @@ class PatternMatcher:
         n_cells: Optional[int] = None,
         wildcard_symbol: str = "X",
         trace: bool = False,
+        use_fast_path: bool = True,
     ):
         self.alphabet = alphabet
         if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
@@ -97,6 +106,11 @@ class PatternMatcher:
         self.recorder = TraceRecorder() if trace else None
         self.array = SystolicMatcherArray(n_cells, recorder=self.recorder)
         self._stream = RecirculatingPattern(self.pattern)
+        self._fast: Optional[FastMatcher] = (
+            FastMatcher(self.pattern, alphabet)
+            if use_fast_path and self.recorder is None
+            else None
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -114,6 +128,8 @@ class PatternMatcher:
 
     def match(self, text: Sequence[str]) -> List[bool]:
         """One result bit per text character (Section 3.1 semantics)."""
+        if self._fast is not None:
+            return self._fast.match(text)
         return self.report(text).results
 
     def report(self, text: Sequence[str]) -> MatchReport:

@@ -22,7 +22,8 @@ from typing import List, Optional, Sequence
 from ..alphabet import Alphabet, PatternChar
 from ..chip.cascade import ChipCascade
 from ..chip.chip import ChipSpec, PatternMatchingChip
-from ..core.multipass import multipass_match, runs_required
+from ..core.fastpath import FastMatcher
+from ..core.multipass import runs_required
 from ..errors import ChipError, ServiceError
 from ..timing.model import TimingModel
 from ..wafer.reconfigure import harvest_linear_array
@@ -65,6 +66,10 @@ class PoolWorker:
         self.alphabet = alphabet
         self.timing = TimingModel(beat_ns)
         self.state = WorkerState.DEAD if capacity == 0 else WorkerState.IDLE
+        # Compiled-pattern cache: farms typically run many texts against
+        # one pattern, so keep the last FastMatcher built for this worker.
+        self._fast: Optional[FastMatcher] = None
+        self._fast_key: Optional[tuple] = None
 
     # -- construction ------------------------------------------------------
 
@@ -134,18 +139,22 @@ class PoolWorker:
     ) -> List[bool]:
         """Execute one match on this worker's engine.
 
-        Short patterns run on the backend chip/cascade; patterns beyond
-        ``capacity`` run the Section 3.4 multipass scheme on the same
-        number of cells.  Either way the result stream is the verified
-        oracle stream.
+        The result stream is always computed on the packed-word fast
+        path (:class:`~repro.core.fastpath.FastMatcher`, proven
+        bit-identical to the stepwise chip/cascade/multipass models);
+        whether the job *fits* or needs the Section 3.4 multipass scheme
+        only affects the beat and bus accounting in
+        :meth:`service_beats` / :meth:`transfer_chars`.
         """
         if not self.is_live or self.backend is None:
             raise ServiceError(f"worker {self.name!r} is dead")
-        pattern = list(pattern)
-        if self.fits(len(pattern)):
-            self.backend.load_pattern(pattern)
-            return self.backend.match(text)
-        return multipass_match(pattern, list(text), self.capacity)
+        key = tuple(pattern)
+        fast = self._fast
+        if fast is None or key != self._fast_key:
+            fast = FastMatcher(list(key), self.alphabet)
+            self._fast = fast
+            self._fast_key = key
+        return fast.match(text)
 
     # -- beat accounting --------------------------------------------------
 

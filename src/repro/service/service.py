@@ -181,6 +181,26 @@ class MatcherService:
             self._complete_software(job)
         return job.job_id
 
+    def submit_many(
+        self,
+        pattern,
+        texts: Sequence[Sequence[str]],
+        tenant: str = "default",
+        priority: Priority = Priority.BATCH,
+    ) -> List[int]:
+        """Admit one job per text in *texts*, parsing the pattern once.
+
+        This is the batched front door for query chunks: a corpus scan
+        submits each document as its own job against a shared pattern
+        without re-parsing it per document.  Backpressure applies per
+        job, exactly as with :meth:`submit`.
+        """
+        parsed = self._parse(pattern)
+        return [
+            self.submit(parsed, text, tenant=tenant, priority=priority)
+            for text in texts
+        ]
+
     def _parse(self, pattern) -> List[PatternChar]:
         if pattern and not isinstance(pattern, str) and all(
             isinstance(pc, PatternChar) for pc in pattern

@@ -82,6 +82,12 @@ class LinearArray:
         valid (non-bubble) data in the cell's registers after the shift.
     recorder:
         Optional :class:`~repro.systolic.tracing.TraceRecorder`.
+    collect_stats:
+        When True, the per-beat register-occupancy scan behind
+        :meth:`occupancy` runs (an O(cells x channels) sweep every beat).
+        Off by default: matching hot paths never read it, and the scan
+        dominates the beat cost on wide arrays.  :meth:`utilization` is a
+        per-fire counter and stays on always.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class LinearArray:
         kernel_factory: Callable[[int], CellKernel],
         activity_channels: Sequence[str],
         recorder: Optional["TraceRecorder"] = None,
+        collect_stats: bool = False,
     ):
         if n_cells <= 0:
             raise SimulationError("array must contain at least one cell")
@@ -111,7 +118,8 @@ class LinearArray:
         }
         self.beat = 0
         self.fire_count = 0
-        self.slot_occupancy = 0  # valid slots observed, for utilization stats
+        self.collect_stats = collect_stats
+        self.slot_occupancy = 0  # valid slots observed, when collect_stats
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -170,10 +178,11 @@ class LinearArray:
                     self.slots[name][i] = value
                 self.fire_count += 1
 
-        for name in self.channels:
-            self.slot_occupancy += sum(
-                1 for v in self.slots[name] if not is_bubble(v)
-            )
+        if self.collect_stats:
+            for name in self.channels:
+                self.slot_occupancy += sum(
+                    1 for v in self.slots[name] if not is_bubble(v)
+                )
 
         if self.recorder is not None:
             self.recorder.record(self, active_cells, dict(inputs), dict(outputs))
@@ -181,8 +190,78 @@ class LinearArray:
         return outputs
 
     def run(self, input_schedule: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
-        """Run one beat per entry of *input_schedule*; return all outputs."""
-        return [self.step(beat_inputs) for beat_inputs in input_schedule]
+        """Run one beat per entry of *input_schedule*; return all outputs.
+
+        When no recorder is attached this runs a batched loop with the
+        per-beat allocation hoisted out: shifts use C-level list rotation
+        instead of a Python slot loop, and the fire check indexes the
+        activity rows directly.  Semantics are identical to calling
+        :meth:`step` per beat (asserted by the engine tests).
+        """
+        if self.recorder is not None:
+            return [self.step(beat_inputs) for beat_inputs in input_schedule]
+
+        channels = self.channels
+        names = list(channels)
+        rows = [self.slots[name] for name in names]
+        right_rows = [
+            (name, self.slots[name]) for name, spec in channels.items()
+            if spec.direction is ChannelDirection.RIGHT
+        ]
+        left_rows = [
+            (name, self.slots[name]) for name, spec in channels.items()
+            if spec.direction is ChannelDirection.LEFT
+        ]
+        act_rows = [self.slots[c] for c in self.activity_channels]
+        kernels = self.kernels
+        n = self.n_cells
+        collect = self.collect_stats
+        fire_count = self.fire_count
+        occupancy = self.slot_occupancy
+        outputs_all: List[Dict[str, object]] = []
+        append_out = outputs_all.append
+
+        for beat_inputs in input_schedule:
+            get = beat_inputs.get
+            outputs: Dict[str, object] = {}
+            for name, row in right_rows:
+                outputs[name] = row.pop()
+                row.insert(0, get(name, BUBBLE))
+            for name, row in left_rows:
+                outputs[name] = row.pop(0)
+                row.append(get(name, BUBBLE))
+
+            for i in range(n):
+                active = True
+                for row in act_rows:
+                    if row[i] is BUBBLE:
+                        active = False
+                        break
+                if not active:
+                    continue
+                cell_in = {name: row[i] for name, row in zip(names, rows)}
+                produced = kernels[i].fire(cell_in)
+                for name, value in produced.items():
+                    if name not in channels:
+                        raise SimulationError(
+                            f"cell {i} produced value for unknown channel {name!r}"
+                        )
+                    if value is BUBBLE:
+                        raise SimulationError(
+                            f"cell {i} produced a bubble on channel {name!r}"
+                        )
+                    self.slots[name][i] = value
+                fire_count += 1
+
+            if collect:
+                for row in rows:
+                    occupancy += sum(1 for v in row if v is not BUBBLE)
+            self.beat += 1
+            append_out(outputs)
+
+        self.fire_count = fire_count
+        self.slot_occupancy = occupancy
+        return outputs_all
 
     # -- inspection ----------------------------------------------------------
 
@@ -200,6 +279,15 @@ class LinearArray:
         return self.fire_count / total if total else 0.0
 
     def occupancy(self) -> float:
-        """Fraction of register slots holding valid data, averaged over time."""
+        """Fraction of register slots holding valid data, averaged over time.
+
+        Requires the array to have been built with ``collect_stats=True``;
+        the per-beat scan that feeds it is off by default.
+        """
+        if not self.collect_stats:
+            raise SimulationError(
+                "occupancy accounting is off; construct the array with "
+                "collect_stats=True to enable it"
+            )
         total = self.beat * self.n_cells * len(self.channels)
         return self.slot_occupancy / total if total else 0.0

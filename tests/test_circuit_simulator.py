@@ -131,6 +131,20 @@ class TestPassTransistorsAndCharge:
         with pytest.raises(ChargeDecayError):
             settle(c, strict_decay=True)
 
+    def test_strict_decay_passes_through_circuit_settle(self):
+        # Regression: Circuit.settle() used to drop strict_decay on the
+        # way to the simulator, silently downgrading strict reads.
+        c = Circuit(retention_ns=1000.0)
+        pass_transistor(c, "g", "a", "st")
+        c.set_input("a", HIGH)
+        c.set_input("g", HIGH)
+        c.settle()
+        c.set_input("g", LOW)
+        c.settle()
+        c.advance_time(2000.0)
+        with pytest.raises(ChargeDecayError):
+            c.settle(strict_decay=True)
+
     def test_refresh_resets_decay_clock(self):
         c = Circuit(retention_ns=1000.0)
         pass_transistor(c, "g", "a", "st")

@@ -1,0 +1,110 @@
+"""Property: the packed-word fast path is the systolic matcher.
+
+:class:`~repro.core.fastpath.FastMatcher` must agree bit for bit with
+the stepwise :class:`~repro.core.matcher.PatternMatcher` (the beat-level
+array simulation) and with :func:`~repro.core.reference.match_oracle`
+over random alphabets, random wildcard patterns and random texts.  The
+fast path is only allowed to be a speedup, never a different matcher.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    WILDCARD,
+    Alphabet,
+    FastMatcher,
+    PatternMatcher,
+    match_oracle,
+    parse_pattern,
+)
+from repro.errors import AlphabetError
+
+AB4 = Alphabet("ABCD")
+
+SYMBOL_POOL = "ABCDEFGH"
+
+
+@st.composite
+def alphabet_pattern_text(draw):
+    """A random alphabet (2..8 symbols, random encoding width), a random
+    wildcard-bearing pattern over it, and a random text."""
+    n_sym = draw(st.integers(2, len(SYMBOL_POOL)))
+    symbols = SYMBOL_POOL[:n_sym]
+    min_bits = max(1, (n_sym - 1).bit_length())
+    bits = draw(st.integers(min_bits, min_bits + 2))
+    alphabet = Alphabet(symbols, bits=bits)
+    # Use the canonical WILDCARD object so patterns stay valid even when
+    # the alphabet itself contains the letter X-equivalent symbols.
+    pattern = draw(
+        st.lists(
+            st.one_of(st.sampled_from(symbols), st.just(WILDCARD)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    text = draw(st.text(alphabet=symbols, min_size=0, max_size=80))
+    return alphabet, pattern, text
+
+
+class TestEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(alphabet_pattern_text())
+    def test_fast_equals_stepwise_equals_oracle(self, case):
+        alphabet, pattern, text = case
+        fast = FastMatcher(pattern, alphabet).match(text)
+        stepwise = PatternMatcher(
+            pattern, alphabet, use_fast_path=False
+        ).match(text)
+        oracle = match_oracle(parse_pattern(pattern, alphabet), list(text))
+        assert fast == stepwise == oracle
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.text(alphabet="ABCDX", min_size=1, max_size=14),
+        st.text(alphabet="ABCD", min_size=0, max_size=120),
+    )
+    def test_symbolic_wildcard_patterns(self, pattern, text):
+        fast = FastMatcher(pattern, AB4).match(text)
+        stepwise = PatternMatcher(pattern, AB4, use_fast_path=False).match(text)
+        assert fast == stepwise
+        assert fast == match_oracle(parse_pattern(pattern, AB4), list(text))
+
+    def test_pattern_longer_than_text(self):
+        assert FastMatcher("ABCD", AB4).match("AB") == [False, False]
+
+    def test_all_wild_pattern_accepts_everything_after_fill(self):
+        out = FastMatcher("XXX", AB4).match("ABCDA")
+        assert out == [False, False, True, True, True]
+
+    def test_find_reports_start_positions(self):
+        assert FastMatcher("AXC", AB4).match("ABCAACACCAB")[2] is True
+        assert 0 in FastMatcher("AXC", AB4).find("ABCAACACCAB")
+
+
+class TestApiParity:
+    def test_rejects_out_of_alphabet_text_like_validating_paths(self):
+        fast = FastMatcher("AB", AB4)
+        with pytest.raises(AlphabetError) as fast_err:
+            fast.match("ABZ")
+        with pytest.raises(AlphabetError) as ref_err:
+            AB4.validate_text("ABZ")
+        assert str(fast_err.value) == str(ref_err.value)
+
+    def test_matcher_routes_match_but_not_report(self):
+        m = PatternMatcher("AXC", AB4)
+        assert m._fast is not None
+        text = "ABCAACACCAB"
+        assert m.match(text) == m.report(text).results
+        # report() ran the stepwise array: beat counters advanced.
+        assert m.array.array.fire_count > 0
+
+    def test_trace_mode_disables_fast_path(self):
+        m = PatternMatcher("AXC", AB4, trace=True)
+        assert m._fast is None
+
+    def test_pattern_metadata(self):
+        fm = FastMatcher("AXC", AB4)
+        assert fm.pattern_string == "AXC"
+        assert fm.pattern_length == 3

@@ -268,6 +268,16 @@ class TestMatcherService:
         r = svc.drain()[jid]
         assert r.results == [] and r.service_beats == 0
 
+    def test_submit_many_batches_one_job_per_text(self):
+        svc = MatcherService(uniform_pool(2, ChipSpec(8, 2), AB))
+        texts = ["ABCAACACCAB", "AACCA", "", "ABCABC"]
+        jids = svc.submit_many("AXC", texts, tenant="alice")
+        assert jids == sorted(jids) and len(jids) == len(texts)
+        results = svc.drain()
+        for jid, text in zip(jids, texts):
+            assert results[jid].results == oracle("AXC", text)
+            assert results[jid].tenant == "alice"
+
     def test_long_pattern_routes_through_multipass(self):
         svc = MatcherService(uniform_pool(1, ChipSpec(4, 2), AB))
         pattern, text = "ABCABX", "ABCABAABCABBABCABC"

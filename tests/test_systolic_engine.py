@@ -20,9 +20,14 @@ RIGHT = ChannelSpec("a", ChannelDirection.RIGHT)
 LEFT = ChannelSpec("b", ChannelDirection.LEFT)
 
 
-def passthrough_array(n, recorder=None):
+def passthrough_array(n, recorder=None, collect_stats=False):
     return LinearArray(
-        n, [RIGHT, LEFT], lambda i: PassThroughKernel(), ("a",), recorder=recorder
+        n,
+        [RIGHT, LEFT],
+        lambda i: PassThroughKernel(),
+        ("a",),
+        recorder=recorder,
+        collect_stats=collect_stats,
     )
 
 
@@ -133,10 +138,28 @@ class TestStats:
         assert all(is_bubble(v) for v in arr.slots["a"])
 
     def test_occupancy_between_zero_and_one(self):
-        arr = passthrough_array(4)
+        arr = passthrough_array(4, collect_stats=True)
         for i in range(8):
             arr.step({"a": i, "b": i})
         assert 0 < arr.occupancy() <= 1.0
+
+    def test_occupancy_requires_collect_stats(self):
+        arr = passthrough_array(4)
+        arr.step({"a": 1})
+        with pytest.raises(SimulationError):
+            arr.occupancy()
+
+    def test_batched_run_matches_stepwise(self):
+        schedule = [{"a": i, "b": i} if i % 2 else {} for i in range(12)]
+        stepwise = passthrough_array(5, collect_stats=True)
+        batched = passthrough_array(5, collect_stats=True)
+        step_outs = [stepwise.step(beat) for beat in schedule]
+        run_outs = batched.run(schedule)
+        assert run_outs == step_outs
+        assert batched.snapshot() == stepwise.snapshot()
+        assert batched.beat == stepwise.beat
+        assert batched.fire_count == stepwise.fire_count
+        assert batched.slot_occupancy == stepwise.slot_occupancy
 
 
 class TestHelpers:
