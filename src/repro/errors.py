@@ -78,6 +78,14 @@ class MethodologyError(ReproError):
     """Design-task graph is inconsistent (cycle, missing input)."""
 
 
+class SignoffError(ReproError):
+    """Signoff pipeline misuse or internal inconsistency."""
+
+
+class ExtractionError(SignoffError):
+    """Layout geometry could not be interpreted as a transistor netlist."""
+
+
 class ServiceError(ReproError):
     """Matcher-farm service layer misuse or internal inconsistency."""
 

@@ -26,6 +26,13 @@ from .layers import Layer
 PAD_SIZE = 40
 PAD_PITCH = 60
 
+#: Vertical gap between abutted cell rows.  Each cell's GND rail rect
+#: reaches 1 lambda below its origin and its VDD rail 2 lambda above its
+#: height, so butting rows would overlap the two supply rails -- a dead
+#: short the signoff extractor flags.  Four lambda keeps the rails at the
+#: 3-lambda metal spacing rule.
+ROW_GAP = 4
+
 
 @dataclass
 class ChipFloorplan:
@@ -114,16 +121,16 @@ class ChipAssembler:
             fp.cell_instances.append(
                 (f"accumulator_{'pos' if positive else 'neg'}", i * col_w, y)
             )
-        y += acc_h
+        y += acc_h + ROW_GAP
         for j in range(self.bit_rows - 1, -1, -1):
             for i in range(self.columns):
                 positive = (i + j) % 2 == 0
                 fp.cell_instances.append(
                     (f"comparator_{'pos' if positive else 'neg'}", i * col_w, y)
                 )
-            y += cmp_h
+            y += cmp_h + ROW_GAP
         fp.core_width = self.columns * col_w
-        fp.core_height = y
+        fp.core_height = y - ROW_GAP
         self._place_pads(fp)
         return fp
 

@@ -34,15 +34,31 @@ from .sticks import StickDiagram
 
 # Geometry constants (lambda).  Chosen so the mechanical expansion is
 # design-rule clean by construction; see tests/test_layout_cells.py.
-DEVICE_Y = 6          # gate row
-DEV_SRC_Y = 2         # source stub row
-DEV_DRN_Y = 10        # drain stub row
-TRACK_Y0 = 16         # first net track
+# The device row leaves 8 lambda of channel headroom between the source
+# and drain stubs so depletion pullups can be drawn with the elongated
+# (L/W = 4) gates that ratioed NMOS logic requires.  The source row sits
+# 6 lambda up so the metal of its contacts and risers clears the GND
+# rail (which spans y in [-1, 2)) by the 3-lambda metal spacing --
+# lower rows put riser metal inside the rail band, shorting every
+# source-row net to ground (found by the signoff extractor).
+DEVICE_Y = 12         # gate row
+DEV_SRC_Y = 6         # source stub row
+DEV_DRN_Y = 18        # drain stub row
+TRACK_Y0 = 22         # first net track
 TRACK_PITCH = 6
 COLUMN_PITCH = 24
 GATE_RISER_DX = -6    # gate contact, relative to device diffusion
 SRC_RISER_DX = 6
 DRN_RISER_DX = 12
+
+# Mask-level device sizing (see expand_sticks).  Depletion gates are
+# stretched to PULLUP_L along the channel; enhancement channels are
+# widened to PULLDOWN_W across it.  Resulting impedances (Z = L/W):
+# pullup 8/2 = 4, pulldown 2/4 = 0.5 -- so an inverter sees an 8:1 ratio
+# and a two-high series stack (NAND, the equality gate) sees 4:1, the
+# Mead & Conway minimum for restoring logic.
+PULLUP_L = 8
+PULLDOWN_W = 4
 
 
 @dataclass
@@ -129,7 +145,7 @@ def generate_cell_sticks(
         col += 1
         # Channel: vertical diffusion crossed by the horizontal gate poly.
         sd.stick(Layer.DIFFUSION, x_dev, DEV_SRC_Y, x_dev, DEV_DRN_Y)
-        sd.stick(Layer.POLY, x_dev + GATE_RISER_DX, DEVICE_Y, x_dev + 2, DEVICE_Y)
+        sd.stick(Layer.POLY, x_dev + GATE_RISER_DX, DEVICE_Y, x_dev + 3, DEVICE_Y)
         if depletion:
             sd.implant(x_dev, DEVICE_Y)
         # Gate connection.
@@ -194,7 +210,16 @@ def expand_sticks(sd: StickDiagram) -> CellLayout:
     "In principle the layout can be designed mechanically from the
     circuit and stick diagrams."  Each stick becomes a rectangle of its
     layer's minimum width, extended one lambda past its endpoints;
-    contacts become 2x2 cuts; implants 4x4 patches over the gate.
+    contacts become 2x2 cuts.
+
+    Device sizing happens here, at the mask level, so the topological
+    stick diagram stays untouched: every depletion site (implant mark on
+    a poly/diffusion crossing) gets its gate poly stretched to
+    ``PULLUP_L`` along the channel plus an implant blanket with the
+    2-lambda overlap the design rules demand, and every enhancement site
+    gets its diffusion widened to ``PULLDOWN_W`` across the channel.
+    That gives the ratioed impedances the electrical-rule check verifies
+    (pullup Z = 4, pulldown Z = 1/2).
     """
     layout = CellLayout(sd.name, width=sd.width, height=sd.height)
     for s in sd.sticks:
@@ -212,7 +237,27 @@ def expand_sticks(sd: StickDiagram) -> CellLayout:
             )
     for c in sd.contacts:
         layout.add(Layer.CONTACT, Rect(c.at.x - 1, c.at.y - 1, c.at.x + 1, c.at.y + 1))
+    depletion_sites = set()
+    half_l = PULLUP_L // 2
+    half_w = PULLDOWN_W // 2
+    for p, is_depletion in sd.transistor_sites():
+        if is_depletion:
+            depletion_sites.add(p)
+            layout.add(
+                Layer.POLY, Rect(p.x - 1, p.y - half_l, p.x + 1, p.y + half_l)
+            )
+            layout.add(
+                Layer.IMPLANT,
+                Rect(p.x - 3, p.y - half_l - 2, p.x + 3, p.y + half_l + 2),
+            )
+        else:
+            layout.add(
+                Layer.DIFFUSION,
+                Rect(p.x - half_w, p.y - half_w - 1, p.x + half_w, p.y + half_w + 1),
+            )
     for imp in sd.implants:
+        if imp.at in depletion_sites:
+            continue  # already blanketed above
         layout.add(
             Layer.IMPLANT, Rect(imp.at.x - 2, imp.at.y - 2, imp.at.x + 2, imp.at.y + 2)
         )
@@ -221,8 +266,28 @@ def expand_sticks(sd: StickDiagram) -> CellLayout:
     return layout
 
 
-def comparator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
-    """Sticks + layout for a comparator twin, from its real netlist."""
+@dataclass
+class CellBundle:
+    """One cell across abstraction levels, for cross-checking.
+
+    ``circuit`` is the switch-level netlist the sticks were generated
+    from, ``ports`` maps external port names to circuit node names,
+    ``clocks`` names the clock nodes, and ``sticks``/``layout`` are the
+    derived geometric artifacts.  The signoff pipeline consumes this to
+    prove the levels agree (extraction + LVS) and to lint the netlist
+    with the right clock discipline (ERC, timing).
+    """
+
+    name: str
+    circuit: Circuit
+    ports: Dict[str, str]
+    clocks: Tuple[str, ...]
+    sticks: StickDiagram
+    layout: CellLayout
+
+
+def comparator_bundle(positive: bool = True) -> CellBundle:
+    """Circuit, sticks, and layout for a comparator twin."""
     from ..circuit.cells.comparator import build_comparator
 
     c = Circuit("cmp")
@@ -234,11 +299,11 @@ def comparator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
     }
     name = f"comparator_{'pos' if positive else 'neg'}"
     sd = generate_cell_sticks(c, external, name)
-    return sd, expand_sticks(sd)
+    return CellBundle(name, c, external, ("clk",), sd, expand_sticks(sd))
 
 
-def accumulator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
-    """Sticks + layout for an accumulator twin, from its real netlist."""
+def accumulator_bundle(positive: bool = True) -> CellBundle:
+    """Circuit, sticks, and layout for an accumulator twin."""
     from ..circuit.cells.accumulator import build_accumulator
 
     c = Circuit("acc")
@@ -252,7 +317,28 @@ def accumulator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]
     }
     name = f"accumulator_{'pos' if positive else 'neg'}"
     sd = generate_cell_sticks(c, external, name)
-    return sd, expand_sticks(sd)
+    return CellBundle(name, c, external, ("clkA", "clkB"), sd, expand_sticks(sd))
+
+
+def cell_bundle(kind: str, positive: bool = True) -> CellBundle:
+    """Bundle for *kind* in {"comparator", "accumulator"}."""
+    if kind == "comparator":
+        return comparator_bundle(positive)
+    if kind == "accumulator":
+        return accumulator_bundle(positive)
+    raise LayoutError(f"unknown cell kind {kind!r}")
+
+
+def comparator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
+    """Sticks + layout for a comparator twin, from its real netlist."""
+    b = comparator_bundle(positive)
+    return b.sticks, b.layout
+
+
+def accumulator_layout(positive: bool = True) -> Tuple[StickDiagram, CellLayout]:
+    """Sticks + layout for an accumulator twin, from its real netlist."""
+    b = accumulator_bundle(positive)
+    return b.sticks, b.layout
 
 
 def check_cell(layout: CellLayout) -> List:

@@ -14,10 +14,24 @@ poly width                      2
 poly spacing                    2
 metal width                     3
 metal spacing                   3
+poly to unrelated diffusion     1
 contact size                    2 x 2
+contact spacing                 2
 implant overlap of gate         1.5 -> 2 (integer-conservative)
 poly gate extension past diff   2
 ==============================  ======
+
+The last four rows were absent from the original checker and were added
+in the signoff audit: ``poly-diff-spacing`` keeps a wire of one layer off
+an unrelated region of the other (overlapping shapes form a transistor
+and are exempt), ``contact-spacing`` keeps cuts apart, and the two gate
+rules (``implant-gate-overlap``, ``gate-extension``) guarantee that a
+drawn channel really is a well-formed transistor: the implant must
+blanket a depletion gate with 2 lambda to spare and the polysilicon must
+run 2 lambda past the diffusion edge so mask misalignment cannot open a
+diffusion short around the gate.  Conductor *coverage* of a contact is
+enforced by the pre-existing ``contact-coverage`` containment rule (the
+zero-margin form of the Mead & Conway overlap-of-contact rule).
 """
 
 from __future__ import annotations
@@ -26,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..errors import DesignRuleViolation
-from .geometry import Rect, merge_connected
+from .geometry import Rect, RectIndex, connected_labels, merge_connected
 from .layers import Layer
 
 
@@ -38,8 +52,11 @@ LAMBDA_RULES: Dict[str, int] = {
     "poly-spacing": 2,
     "metal-width": 3,
     "metal-spacing": 3,
+    "poly-diff-spacing": 1,
     "contact-size": 2,
+    "contact-spacing": 2,
     "implant-gate-overlap": 2,
+    "gate-extension": 2,
 }
 
 _WIDTH_RULES = {
@@ -52,6 +69,43 @@ _SPACING_RULES = {
     Layer.POLY: "poly-spacing",
     Layer.METAL: "metal-spacing",
 }
+
+
+def gate_channels(
+    poly: Sequence[Rect], diff: Sequence[Rect], contacts: Sequence[Rect] = ()
+) -> List[Rect]:
+    """Merged poly-over-diffusion regions: the transistor channels.
+
+    Every overlap of a poly shape with a diffusion shape is a channel
+    candidate ("Field-effect transistors are created in NMOS by crossing
+    a diffusion path with a polysilicon area") unless a contact cut sits
+    on the overlap (a butting contact joins the layers instead).
+    Overlapping/touching candidates merge into one channel, reported as
+    the bounding box of the merged region -- one rectangle per device.
+    """
+    diff_list = list(diff)
+    index = RectIndex(diff_list)
+    contact_list = list(contacts)
+    contact_index = RectIndex(contact_list)
+    candidates: List[Rect] = []
+    for p in poly:
+        for k in index.near(p):
+            overlap = p.intersection(diff_list[k])
+            if overlap is None:
+                continue
+            butted = any(
+                contact_list[c].intersects(overlap)
+                for c in contact_index.near(overlap)
+            )
+            if not butted:
+                candidates.append(overlap)
+    channels = []
+    for cluster in merge_connected(candidates):
+        box = cluster[0]
+        for r in cluster[1:]:
+            box = box.union_bbox(r)
+        channels.append(box)
+    return sorted(channels, key=lambda r: (r.y0, r.x0))
 
 
 @dataclass
@@ -81,6 +135,8 @@ class DesignRuleChecker:
         violations.extend(self._check_widths(rects_by_layer))
         violations.extend(self._check_spacing(rects_by_layer))
         violations.extend(self._check_contacts(rects_by_layer))
+        violations.extend(self._check_poly_diff_spacing(rects_by_layer))
+        violations.extend(self._check_gates(rects_by_layer))
         return violations
 
     def enforce(self, rects_by_layer: Dict[Layer, Sequence[Rect]]) -> None:
@@ -107,48 +163,165 @@ class DesignRuleChecker:
         """Spacing between electrically distinct same-layer clusters.
 
         Touching/overlapping rectangles are one conductor and exempt;
-        distinct clusters must keep the layer's minimum gap.
+        distinct clusters must keep the layer's minimum gap.  The scan is
+        index-accelerated: each rectangle is compared only against
+        rectangles within the rule distance, and each close cluster pair
+        is reported once.
         """
         out = []
         for layer, rule in _SPACING_RULES.items():
             min_s = self.rules[rule]
             rects = list(rbl.get(layer, []))
-            clusters = merge_connected(rects)
-            for i in range(len(clusters)):
-                for j in range(i + 1, len(clusters)):
-                    gap = min(
-                        a.separation(b) for a in clusters[i] for b in clusters[j]
-                    )
+            if not rects:
+                continue
+            labels = connected_labels(rects)
+            index = RectIndex(rects)
+            reported: Dict[tuple, int] = {}
+            for i, r in enumerate(rects):
+                for j in index.near(r, pad=min_s):
+                    if j <= i or labels[i] == labels[j]:
+                        continue
+                    gap = r.separation(rects[j])
                     if gap < min_s:
-                        out.append(
-                            Violation(
-                                rule,
-                                f"{layer.value} clusters {gap} lambda apart "
-                                f"(need {min_s})",
-                            )
-                        )
+                        pair = (min(labels[i], labels[j]), max(labels[i], labels[j]))
+                        if pair in reported:
+                            reported[pair] = min(reported[pair], gap)
+                        else:
+                            reported[pair] = gap
+            for gap in reported.values():
+                out.append(
+                    Violation(
+                        rule,
+                        f"{layer.value} clusters {gap} lambda apart "
+                        f"(need {min_s})",
+                    )
+                )
         return out
 
     def _check_contacts(self, rbl) -> List[Violation]:
-        """Contacts must be exactly contact-size and covered by a conductor."""
+        """Contacts: exact size, two covering conductors, mutual spacing."""
         out = []
         size = self.rules["contact-size"]
+        min_s = self.rules["contact-spacing"]
         conductors = [
             r
             for layer in (Layer.DIFFUSION, Layer.POLY, Layer.METAL)
             for r in rbl.get(layer, [])
         ]
-        for c in rbl.get(Layer.CONTACT, []):
+        cover_index = RectIndex(conductors)
+        contacts = list(rbl.get(Layer.CONTACT, []))
+        contact_index = RectIndex(contacts)
+        for i, c in enumerate(contacts):
             if c.width != size or c.height != size:
                 out.append(
                     Violation("contact-size", f"contact {c} is not {size}x{size}")
                 )
-            covering = sum(1 for r in conductors if r.contains(c))
+            covering = sum(
+                1 for k in cover_index.near(c) if conductors[k].contains(c)
+            )
             if covering < 2:
                 out.append(
                     Violation(
                         "contact-coverage",
                         f"contact {c} must be covered by two conduction layers",
+                    )
+                )
+            for j in contact_index.near(c, pad=min_s):
+                if j <= i:
+                    continue
+                gap = c.separation(contacts[j])
+                if 0 < gap < min_s:
+                    out.append(
+                        Violation(
+                            "contact-spacing",
+                            f"contacts {c} and {contacts[j]} are {gap} lambda "
+                            f"apart (need {min_s})",
+                        )
+                    )
+        return out
+
+    def _check_poly_diff_spacing(self, rbl) -> List[Violation]:
+        """Unrelated polysilicon must keep 1 lambda off diffusion.
+
+        Overlapping poly/diffusion pairs form a transistor channel and are
+        exempt; everything else (including touching shapes, which a mask
+        shift would merge) must keep the gap.
+        """
+        out = []
+        min_s = self.rules["poly-diff-spacing"]
+        diff = list(rbl.get(Layer.DIFFUSION, []))
+        index = RectIndex(diff)
+        for p in rbl.get(Layer.POLY, []):
+            for k in index.near(p, pad=min_s):
+                d = diff[k]
+                if p.intersects(d):
+                    continue  # a channel, handled by the gate rules
+                gap = p.separation(d)
+                if gap < min_s:
+                    out.append(
+                        Violation(
+                            "poly-diff-spacing",
+                            f"poly {p} is {gap} lambda from unrelated "
+                            f"diffusion {d} (need {min_s})",
+                        )
+                    )
+        return out
+
+    def _check_gates(self, rbl) -> List[Violation]:
+        """Channel-formation rules: implant blanket and poly overhang.
+
+        Every merged poly-over-diffusion region is a channel.  A channel
+        touched by implant must be *contained* in implant with the rule
+        margin on every side; and some poly shape must extend past the
+        channel by the gate-extension margin on both sides of one axis
+        (the poly line crossing the diffusion).
+        """
+        out = []
+        overlap = self.rules["implant-gate-overlap"]
+        extension = self.rules["gate-extension"]
+        poly = list(rbl.get(Layer.POLY, []))
+        diff = list(rbl.get(Layer.DIFFUSION, []))
+        implants = list(rbl.get(Layer.IMPLANT, []))
+        contacts = list(rbl.get(Layer.CONTACT, []))
+        channels = gate_channels(poly, diff, contacts)
+        poly_index = RectIndex(poly)
+        implant_index = RectIndex(implants)
+        for ch in channels:
+            touching = [
+                implants[k]
+                for k in implant_index.near(ch)
+                if implants[k].intersects(ch)
+            ]
+            if touching:
+                grown = Rect(
+                    ch.x0 - overlap, ch.y0 - overlap,
+                    ch.x1 + overlap, ch.y1 + overlap,
+                )
+                if not any(imp.contains(grown) for imp in touching):
+                    out.append(
+                        Violation(
+                            "implant-gate-overlap",
+                            f"implant must cover gate {ch} plus {overlap} "
+                            "lambda on every side",
+                        )
+                    )
+            extended = False
+            for k in poly_index.near(ch):
+                p = poly[k]
+                if not p.intersects(ch):
+                    continue
+                if p.x0 <= ch.x0 - extension and p.x1 >= ch.x1 + extension:
+                    extended = True
+                    break
+                if p.y0 <= ch.y0 - extension and p.y1 >= ch.y1 + extension:
+                    extended = True
+                    break
+            if not extended:
+                out.append(
+                    Violation(
+                        "gate-extension",
+                        f"no poly shape extends {extension} lambda past "
+                        f"gate {ch} on both sides of either axis",
                     )
                 )
         return out

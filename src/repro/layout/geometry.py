@@ -8,7 +8,7 @@ used lambda = 2.5 um (a 5-micron process).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import LayoutError
 
@@ -106,6 +106,34 @@ class Rect:
             and self.y1 >= other.y1
         )
 
+    def contains_point(self, p: Point) -> bool:
+        """Closed-boundary containment (lambda grid points on an edge count)."""
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlap rectangle, or None when interiors are disjoint."""
+        x0, y0 = max(self.x0, other.x0), max(self.y0, other.y0)
+        x1, y1 = min(self.x1, other.x1), min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def subtract(self, cut: "Rect") -> List["Rect"]:
+        """This rectangle minus *cut*, as up to four disjoint rectangles."""
+        inter = self.intersection(cut)
+        if inter is None:
+            return [self]
+        out: List[Rect] = []
+        if self.y0 < inter.y0:                      # band below the cut
+            out.append(Rect(self.x0, self.y0, self.x1, inter.y0))
+        if inter.y1 < self.y1:                      # band above the cut
+            out.append(Rect(self.x0, inter.y1, self.x1, self.y1))
+        if self.x0 < inter.x0:                      # left of the cut
+            out.append(Rect(self.x0, inter.y0, inter.x0, inter.y1))
+        if inter.x1 < self.x1:                      # right of the cut
+            out.append(Rect(inter.x1, inter.y0, self.x1, inter.y1))
+        return out
+
 
 def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
     """The bounding box of a rectangle collection (None if empty)."""
@@ -118,22 +146,82 @@ def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
     return box
 
 
-def merge_connected(rects: List[Rect]) -> List[List[Rect]]:
-    """Group rectangles into electrically connected clusters (same layer)."""
-    n = len(rects)
-    parent = list(range(n))
+def subtract_all(rect: Rect, cuts: Iterable[Rect]) -> List[Rect]:
+    """*rect* minus every rectangle in *cuts* (disjoint fragment list)."""
+    pieces = [rect]
+    for cut in cuts:
+        pieces = [frag for piece in pieces for frag in piece.subtract(cut)]
+    return pieces
 
-    def find(i):
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
+
+class RectIndex:
+    """A uniform-grid spatial index over rectangles.
+
+    Replaces the all-pairs scans that made connectivity extraction and
+    spacing checks quadratic: querying returns only candidates whose grid
+    cells overlap the probe window, so chip-scale rectangle sets (the
+    flattened prototype CIF) stay near-linear.
+    """
+
+    def __init__(self, rects: List[Rect], cell: int = 32):
+        self.rects = rects
+        self.cell = max(1, cell)
+        self._buckets: dict = {}
+        for i, r in enumerate(rects):
+            for key in self._keys(r, 0):
+                self._buckets.setdefault(key, []).append(i)
+
+    def _keys(self, r: Rect, pad: int):
+        c = self.cell
+        for bx in range((r.x0 - pad) // c, (r.x1 + pad) // c + 1):
+            for by in range((r.y0 - pad) // c, (r.y1 + pad) // c + 1):
+                yield (bx, by)
+
+    def near(self, r: Rect, pad: int = 0) -> List[int]:
+        """Indices of rectangles whose grid cells overlap *r* grown by *pad*."""
+        seen: set = set()
+        for key in self._keys(r, pad):
+            seen.update(self._buckets.get(key, ()))
+        return sorted(seen)
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        p = self.parent
+        while p[i] != i:
+            p[i] = p[p[i]]
+            i = p[i]
         return i
 
-    for i in range(n):
-        for j in range(i + 1, n):
-            if rects[i].touches_or_intersects(rects[j]):
-                parent[find(i)] = find(j)
-    groups = {}
-    for i in range(n):
-        groups.setdefault(find(i), []).append(rects[i])
-    return list(groups.values())
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[ri] = rj
+
+
+def connected_labels(rects: List[Rect]) -> List[int]:
+    """Cluster id per rectangle (touching/overlapping rects share an id)."""
+    uf = _UnionFind(len(rects))
+    index = RectIndex(rects)
+    for i, r in enumerate(rects):
+        for j in index.near(r):
+            if j > i and r.touches_or_intersects(rects[j]):
+                uf.union(i, j)
+    roots: Dict[int, int] = {}
+    labels = []
+    for i in range(len(rects)):
+        root = uf.find(i)
+        labels.append(roots.setdefault(root, len(roots)))
+    return labels
+
+
+def merge_connected(rects: List[Rect]) -> List[List[Rect]]:
+    """Group rectangles into electrically connected clusters (same layer)."""
+    labels = connected_labels(rects)
+    groups: Dict[int, List[Rect]] = {}
+    for label, rect in zip(labels, rects):
+        groups.setdefault(label, []).append(rect)
+    return [groups[k] for k in sorted(groups)]

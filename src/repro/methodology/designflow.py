@@ -33,7 +33,7 @@ from .tasks import figure_4_1_graph
 class DesignFlow:
     """Executes the Figure 4-1 flow for an m-column, w-bit-row chip."""
 
-    def __init__(self, columns: int = 8, char_bits: int = 2):
+    def __init__(self, columns: int = 8, char_bits: int = 2, signoff: bool = False):
         self.columns = columns
         self.char_bits = char_bits
         self.graph: TaskGraph = figure_4_1_graph()
@@ -49,9 +49,43 @@ class DesignFlow:
             "cell_layouts": self._run_cell_layouts,
             "cell_boundary_layouts": self._run_cell_boundary_layouts,
         }
+        if signoff:
+            self._register_signoff_tasks()
+
+    def _register_signoff_tasks(self) -> None:
+        """Graft the verification pipeline onto the Figure 4-1 graph.
+
+        DRC, extraction, LVS, and ERC are *blocking* gates -- the chip is
+        wrong if they fail.  Timing closure is *advisory*: a missed
+        estimate informs the next iteration rather than invalidating the
+        masks."""
+        for name, deps, blocking in (
+            ("signoff_drc", ("cell_layouts",), True),
+            ("signoff_extraction", ("cell_layouts",), True),
+            ("signoff_lvs", ("signoff_extraction", "cell_logic_circuits"), True),
+            ("signoff_erc", ("signoff_extraction",), True),
+            ("signoff_timing", ("signoff_extraction",), False),
+        ):
+            self.graph.add_task(name, deps, effort=0.25, blocking=blocking)
+        self.graph.validate()
+        self._runners.update(
+            {
+                "signoff_drc": self._run_signoff_drc,
+                "signoff_extraction": self._run_signoff_extraction,
+                "signoff_lvs": self._run_signoff_lvs,
+                "signoff_erc": self._run_signoff_erc,
+                "signoff_timing": self._run_signoff_timing,
+            }
+        )
 
     def run(self) -> Dict[str, object]:
-        """Execute every task in dependency order; returns all artifacts."""
+        """Execute every task in dependency order; returns all artifacts.
+
+        A failing *blocking* task raises; a failing *advisory* task is
+        recorded as an ``{"advisory_failure": ...}`` artifact and the flow
+        continues."""
+        from ..errors import ReproError
+
         for task in self.graph.topological_order():
             missing = [
                 d for d in self.graph.dependencies(task) if d not in self.artifacts
@@ -60,7 +94,12 @@ class DesignFlow:
                 raise MethodologyError(
                     f"task {task!r} scheduled before its inputs {missing}"
                 )
-            self.artifacts[task] = self._runners[task]()
+            try:
+                self.artifacts[task] = self._runners[task]()
+            except ReproError as exc:
+                if self.graph.is_blocking(task):
+                    raise
+                self.artifacts[task] = {"advisory_failure": str(exc)}
         return dict(self.artifacts)
 
     # -- task implementations ---------------------------------------------------
@@ -171,3 +210,78 @@ class DesignFlow:
             "cif": asm.to_cif(),
             "area": asm.area_report(),
         }
+
+    # -- signoff gates (registered only with signoff=True) ----------------------
+
+    def _signoff_state(self):
+        """Lazily built, shared across the signoff runners: the pipeline
+        driver, the four cell bundles, and their extractions."""
+        if not hasattr(self, "_signoff_driver"):
+            from ..layout.cells import cell_bundle
+            from ..signoff.pipeline import CELL_KINDS, Signoff
+
+            self._signoff_driver = Signoff()
+            self._signoff_bundles = [cell_bundle(k, p) for k, p in CELL_KINDS]
+            self._signoff_ex = {}
+        return self._signoff_driver, self._signoff_bundles
+
+    @staticmethod
+    def _stage_artifact(stages) -> Dict[str, object]:
+        from ..errors import SignoffError
+
+        findings = [f for s in stages for f in s.findings]
+        errors = [f for f in findings if f.severity == "error"]
+        if errors:
+            raise SignoffError(
+                f"{stages[0].stage}: {len(errors)} error(s); first: "
+                f"{errors[0].detail}"
+            )
+        return {
+            "stage": stages[0].stage,
+            "findings": [f.to_dict() for f in findings],
+            "ok": True,
+        }
+
+    def _run_signoff_drc(self) -> object:
+        driver, bundles = self._signoff_state()
+        return self._stage_artifact([driver.drc_stage(b) for b in bundles])
+
+    def _run_signoff_extraction(self) -> object:
+        driver, bundles = self._signoff_state()
+        stages = []
+        for b in bundles:
+            stage, ex = driver.extraction_stage(b)
+            self._signoff_ex[b.name] = ex
+            stages.append(stage)
+        return self._stage_artifact(stages)
+
+    def _run_signoff_lvs(self) -> object:
+        driver, bundles = self._signoff_state()
+        return self._stage_artifact(
+            [driver.lvs_stage(b, self._signoff_ex[b.name]) for b in bundles]
+        )
+
+    def _run_signoff_erc(self) -> object:
+        driver, bundles = self._signoff_state()
+        stages = []
+        for b in bundles:
+            ex = self._signoff_ex[b.name]
+            clocks = [ex.net_of_port.get(c, c) for c in b.clocks]
+            ports = sorted(set(ex.net_of_port.values()))
+            stages.append(
+                driver.erc_stage(ex.circuit, clocks, ports, ex.device_geom,
+                                 where=b.name)
+            )
+        return self._stage_artifact(stages)
+
+    def _run_signoff_timing(self) -> object:
+        driver, bundles = self._signoff_state()
+        stages = []
+        for b in bundles:
+            ex = self._signoff_ex[b.name]
+            clocks = [ex.net_of_port.get(c, c) for c in b.clocks]
+            ports = sorted(set(ex.net_of_port.values()))
+            stages.append(
+                driver.timing_stage(ex.circuit, clocks, ports, ex.device_geom)
+            )
+        return self._stage_artifact(stages)

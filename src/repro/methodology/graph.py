@@ -19,12 +19,20 @@ class TaskGraph:
     def __init__(self) -> None:
         self._deps: Dict[str, Set[str]] = {}
         self._effort: Dict[str, float] = {}
+        self._blocking: Dict[str, bool] = {}
 
-    def add_task(self, name: str, depends_on: Iterable[str] = (), effort: float = 1.0) -> None:
+    def add_task(
+        self,
+        name: str,
+        depends_on: Iterable[str] = (),
+        effort: float = 1.0,
+        blocking: bool = True,
+    ) -> None:
         if name in self._deps:
             raise MethodologyError(f"duplicate task {name!r}")
         self._deps[name] = set(depends_on)
         self._effort[name] = effort
+        self._blocking[name] = blocking
 
     @property
     def tasks(self) -> List[str]:
@@ -33,6 +41,14 @@ class TaskGraph:
     def dependencies(self, name: str) -> Set[str]:
         try:
             return set(self._deps[name])
+        except KeyError:
+            raise MethodologyError(f"unknown task {name!r}") from None
+
+    def is_blocking(self, name: str) -> bool:
+        """Whether a failure of this task must stop the flow (a *blocking*
+        verification gate) or merely be recorded (*advisory*)."""
+        try:
+            return self._blocking[name]
         except KeyError:
             raise MethodologyError(f"unknown task {name!r}") from None
 

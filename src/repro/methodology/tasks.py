@@ -32,6 +32,7 @@ class TaskSpec:
     description: str
     depends_on: Tuple[str, ...]
     effort_weeks: float
+    blocking: bool = True
 
 
 FIGURE_4_1 = (
@@ -102,6 +103,7 @@ def figure_4_1_graph() -> TaskGraph:
     """The paper's task graph as a :class:`TaskGraph`."""
     g = TaskGraph()
     for spec in FIGURE_4_1:
-        g.add_task(spec.name, spec.depends_on, spec.effort_weeks)
+        g.add_task(spec.name, spec.depends_on, spec.effort_weeks,
+                   blocking=spec.blocking)
     g.validate()
     return g

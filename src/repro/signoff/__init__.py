@@ -1,0 +1,37 @@
+"""Signoff: the static verification pipeline.
+
+"Design systems should provide individual checking programs for
+verifying efficiently that certain relationships hold between adjacent
+levels of the design hierarchy."  This package is that set of checking
+programs for the matcher chip: layout extraction (geometry back to a
+transistor netlist), LVS (extracted vs drawn netlist equivalence),
+electrical-rule lint (floating gates, unrefreshed dynamic nodes,
+two-phase discipline, NMOS ratios, sneak paths), and timing closure
+(worst RC path per phase against the 250 ns beat budget), composed with
+the design-rule checker into one :class:`~repro.signoff.pipeline.Signoff`
+driver that emits a machine-readable report.
+"""
+
+from .erc import ALL_RULES, ERCContext, run_erc
+from .extract import ChannelGeom, Extraction, extract
+from .lvs import LVSResult, compare
+from .pipeline import Signoff
+from .report import Finding, SignoffReport, StageReport
+from .timing import TimingParams, worst_paths
+
+__all__ = [
+    "ALL_RULES",
+    "ChannelGeom",
+    "ERCContext",
+    "Extraction",
+    "Finding",
+    "LVSResult",
+    "Signoff",
+    "SignoffReport",
+    "StageReport",
+    "TimingParams",
+    "compare",
+    "extract",
+    "run_erc",
+    "worst_paths",
+]

@@ -1,0 +1,412 @@
+"""Electrical-rule lint: static checks on a switch-level netlist.
+
+Each rule is a pass over an :class:`ERCContext`; the set encodes the
+failure modes the paper's design style is exposed to:
+
+* ``floating-gate`` -- a gate net nothing can ever drive;
+* ``dynamic-refresh`` -- a dynamic storage node (it feeds a gate, has no
+  pullup) that no clock phase ever refreshes, so it holds data only
+  until the charge decays ("for no more than about 1 ms");
+* ``clock-discipline`` -- same-phase feedback: storage written and read
+  in one phase, the loop the two-phase scheme exists to break;
+* ``ratio`` -- a pullup/pulldown impedance ratio below the Mead & Conway
+  minimum of 4 for restoring logic;
+* ``sneak-path`` -- a pure-pass conduction path from VDD to GND that is
+  not a gate's pulldown network: a standing short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..circuit.netlist import GND, VDD, Circuit, Enhancement
+from .extract import ChannelGeom
+from .report import Finding
+
+_RAILS = (VDD, GND)
+
+
+@dataclass
+class ERCContext:
+    """Everything a rule may consult.
+
+    ``clocks`` are the clock net names; ``ports`` the externally driven
+    or observed nets; ``device_geom`` (by device label) enables the
+    geometric ratio check and is empty for drawn netlists.
+    """
+
+    circuit: Circuit
+    clocks: Tuple[str, ...] = ()
+    ports: FrozenSet[str] = frozenset()
+    device_geom: Dict[str, ChannelGeom] = field(default_factory=dict)
+    required_ratio: float = 4.0
+
+    def __post_init__(self):
+        self.ports = frozenset(self.ports)
+
+    # -- shared topology helpers ----------------------------------------
+
+    @property
+    def load_nodes(self) -> Set[str]:
+        return {d.node for d in self.circuit.loads}
+
+    @property
+    def gate_nets(self) -> Set[str]:
+        return {t.gate for t in self.circuit.transistors}
+
+    @property
+    def channel_nets(self) -> Set[str]:
+        out: Set[str] = set()
+        for t in self.circuit.transistors:
+            out.add(t.a)
+            out.add(t.b)
+        return out
+
+    def channel_adjacency(self) -> Dict[str, List[Enhancement]]:
+        adj: Dict[str, List[Enhancement]] = {}
+        for t in self.circuit.transistors:
+            adj.setdefault(t.a, []).append(t)
+            adj.setdefault(t.b, []).append(t)
+        return adj
+
+    def pulldown_paths(self, max_depth: int = 8) -> Dict[str, List[List[Enhancement]]]:
+        """Per load node: simple channel paths to GND.
+
+        A pulldown path may not cross a rail, a port, a clock, or another
+        load's output -- those nets are all independently driven, so
+        conduction through them is not this gate's pulldown network.
+        """
+        adj = self.channel_adjacency()
+        stop = (set(_RAILS) | self.ports | set(self.clocks) | self.load_nodes)
+        out: Dict[str, List[List[Enhancement]]] = {}
+        for node in sorted(self.load_nodes):
+            paths: List[List[Enhancement]] = []
+
+            def walk(net: str, path: List[Enhancement], seen: Set[str]) -> None:
+                if len(path) > max_depth:
+                    return
+                for t in adj.get(net, ()):
+                    if t in path:
+                        continue
+                    other = t.b if t.a == net else t.a
+                    if other == GND:
+                        paths.append(path + [t])
+                        continue
+                    if other in stop or other in seen:
+                        continue
+                    walk(other, path + [t], seen | {other})
+
+            walk(node, [], {node})
+            out[node] = paths
+        return out
+
+    def pulldown_devices(self) -> Set[Enhancement]:
+        """Devices that belong to some gate's pulldown network."""
+        return {
+            t
+            for paths in self.pulldown_paths().values()
+            for path in paths
+            for t in path
+        }
+
+
+class Rule:
+    """Base class: subclasses set ``name`` and implement ``run``."""
+
+    name = "rule"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, severity: str, detail: str, where: str = "") -> Finding:
+        return Finding("erc", self.name, severity, detail, where)
+
+
+class FloatingGateRule(Rule):
+    """A gate net that is not a rail, port, clock, load output, or any
+    device's channel terminal can never be driven: the transistor it
+    gates is permanently indeterminate."""
+
+    name = "floating-gate"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        driven = (
+            set(_RAILS) | ctx.ports | set(ctx.clocks)
+            | ctx.load_nodes | ctx.channel_nets
+        )
+        out = []
+        for g in sorted(ctx.gate_nets - driven):
+            labels = [t.label for t in ctx.circuit.transistors if t.gate == g]
+            out.append(
+                self.finding(
+                    "error",
+                    f"gate net {g!r} has no driver of any kind "
+                    f"(gates: {labels})",
+                    where=g,
+                )
+            )
+        return out
+
+
+class DynamicRefreshRule(Rule):
+    """Dynamic storage must be refreshed by a clock phase.
+
+    A net that feeds a gate, has no static pullup, and is not a boundary
+    net holds its value as charge; at least one adjacent pass transistor
+    gated by a clock (or by VDD -- a hard wire to somewhere refreshed)
+    must exist to rewrite it every beat."""
+
+    name = "dynamic-refresh"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        storage = (
+            ctx.gate_nets
+            - ctx.load_nodes
+            - ctx.ports
+            - set(ctx.clocks)
+            - set(_RAILS)
+        )
+        adj = ctx.channel_adjacency()
+        refreshing = set(ctx.clocks) | {VDD}
+        out = []
+        for s in sorted(storage):
+            if any(t.gate in refreshing for t in adj.get(s, ())):
+                continue
+            out.append(
+                self.finding(
+                    "error",
+                    f"storage node {s!r} feeds a gate but is never "
+                    "refreshed by either clock phase",
+                    where=s,
+                )
+            )
+        return out
+
+
+class ClockDisciplineRule(Rule):
+    """No same-phase feedback through storage.
+
+    Per phase, build the signal-flow graph of that phase: bidirectional
+    channel edges for conducting switches (gated by the phase itself or
+    by VDD), directed gate-influence edges from every potentially-on
+    device's gate to its channel terminals (rails excluded).  A strongly
+    connected component spanning >= 2 nets that contains a gate edge is a
+    loop closed within one phase -- exactly what the two-phase clock is
+    supposed to make impossible."""
+
+    name = "clock-discipline"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        out = []
+        for phase in ctx.clocks:
+            others = set(ctx.clocks) - {phase}
+            edges: Set[Tuple[str, str]] = set()
+            gate_edges: Set[Tuple[str, str]] = set()
+            for t in ctx.circuit.transistors:
+                if t.gate in others or t.gate == GND:
+                    continue  # off this phase
+                pins = [p for p in (t.a, t.b) if p not in _RAILS]
+                if t.gate == phase or t.gate == VDD:
+                    if len(pins) == 2:
+                        edges.add((pins[0], pins[1]))
+                        edges.add((pins[1], pins[0]))
+                else:
+                    # Data-gated: channel may conduct, and the gate value
+                    # influences the channel nets combinationally.
+                    if len(pins) == 2:
+                        edges.add((pins[0], pins[1]))
+                        edges.add((pins[1], pins[0]))
+                    for p in pins:
+                        gate_edges.add((t.gate, p))
+            for scc in _sccs(edges | gate_edges):
+                if len(scc) < 2:
+                    continue
+                internal_gate = [
+                    e for e in gate_edges if e[0] in scc and e[1] in scc
+                ]
+                if internal_gate:
+                    out.append(
+                        self.finding(
+                            "error",
+                            f"phase {phase}: same-phase feedback loop "
+                            f"through {sorted(scc)} (gate edges "
+                            f"{sorted(internal_gate)})",
+                            where=phase,
+                        )
+                    )
+        return out
+
+
+class RatioRule(Rule):
+    """Ratioed-logic sizing: Z_pullup / Z_pulldown >= required_ratio.
+
+    Needs extracted geometry; the worst case over a gate's pulldown
+    paths is the weakest path (largest summed Z).  Skipped with an info
+    finding when no geometry is available (drawn netlists)."""
+
+    name = "ratio"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        if not ctx.device_geom:
+            return [
+                self.finding(
+                    "info", "skipped: no channel geometry (drawn netlist)"
+                )
+            ]
+        geom = ctx.device_geom
+        z_load = {
+            d.node: geom[d.label].z
+            for d in ctx.circuit.loads
+            if d.label in geom
+        }
+        out = []
+        for node, paths in sorted(ctx.pulldown_paths().items()):
+            if node not in z_load:
+                continue
+            for path in paths:
+                if any(t.label not in geom for t in path):
+                    continue
+                z_pd = sum(geom[t.label].z for t in path)
+                ratio = z_load[node] / z_pd if z_pd else float("inf")
+                if ratio + 1e-9 < ctx.required_ratio:
+                    out.append(
+                        self.finding(
+                            "error",
+                            f"pullup on {node!r} (Z={z_load[node]:g}) vs "
+                            f"pulldown {[t.label for t in path]} "
+                            f"(Z={z_pd:g}): ratio {ratio:.2f} < "
+                            f"{ctx.required_ratio:g}",
+                            where=node,
+                        )
+                    )
+        return out
+
+
+class SneakPathRule(Rule):
+    """No standing conduction path from VDD to GND.
+
+    Pulldown-network devices are excluded (every gate output has a legal
+    ratioed path); what remains conducting between the rails -- a single
+    bridging device or a chain of passes -- would be a DC short no clock
+    phase turns off."""
+
+    name = "sneak-path"
+
+    def run(self, ctx: ERCContext) -> List[Finding]:
+        out = []
+        for t in ctx.circuit.transistors:
+            if {t.a, t.b} == {VDD, GND}:
+                out.append(
+                    self.finding(
+                        "error",
+                        f"device {t.label or t} bridges VDD and GND directly",
+                        where=t.label,
+                    )
+                )
+        pulldowns = ctx.pulldown_devices()
+        adj = ctx.channel_adjacency()
+        # DFS from VDD over non-pulldown channels.
+        parent: Dict[str, Tuple[str, Enhancement]] = {}
+        stack = [VDD]
+        seen = {VDD}
+        hit = None
+        while stack and hit is None:
+            net = stack.pop()
+            for t in adj.get(net, ()):
+                if t in pulldowns or t.gate == GND:
+                    continue
+                other = t.b if t.a == net else t.a
+                if other == GND:
+                    parent[GND] = (net, t)
+                    hit = t
+                    break
+                if other in seen or other == VDD:
+                    continue
+                seen.add(other)
+                parent[other] = (net, t)
+                stack.append(other)
+        if hit is not None:
+            path = [GND]
+            while path[-1] != VDD:
+                path.append(parent[path[-1]][0])
+            out.append(
+                self.finding(
+                    "error",
+                    "conduction path from VDD to GND outside any pulldown "
+                    f"network: {' - '.join(reversed(path))}",
+                    where=path[1] if len(path) > 1 else "",
+                )
+            )
+        return out
+
+
+def _sccs(edges: Iterable[Tuple[str, str]]) -> List[Set[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    graph: Dict[str, List[str]] = {}
+    for u, v in edges:
+        graph.setdefault(u, []).append(v)
+        graph.setdefault(v, [])
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp: Set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+#: The default rule battery, in reporting order.
+ALL_RULES: Tuple[Rule, ...] = (
+    FloatingGateRule(),
+    DynamicRefreshRule(),
+    ClockDisciplineRule(),
+    RatioRule(),
+    SneakPathRule(),
+)
+
+
+def run_erc(ctx: ERCContext, rules: Sequence[Rule] = ALL_RULES) -> List[Finding]:
+    """Run every rule; returns the concatenated findings."""
+    out: List[Finding] = []
+    for rule in rules:
+        out.extend(rule.run(ctx))
+    return out

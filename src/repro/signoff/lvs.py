@@ -1,0 +1,256 @@
+"""LVS: layout-versus-schematic netlist comparison.
+
+Proves the extracted circuit and the drawn circuit are the same graph.
+The matcher is classic partition refinement: nets and devices are
+iteratively coloured by their neighbourhoods (a net's colour folds in
+the colours and pin roles of every device touching it; a device's colour
+folds in its kind, gate colour, and channel colours) until the partition
+stabilises.  Boundary ports and the rails anchor the initial colouring.
+Colour classes left ambiguous by symmetry are resolved by backtracking
+individuation; a final edge-consistency pass re-verifies every device
+under the produced net map, so a wrong match cannot survive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import GND, VDD, Circuit
+
+#: Device tuple: (kind, label, gate-or-None, channel-net-tuple).
+_Dev = Tuple[str, str, Optional[str], Tuple[str, ...]]
+
+
+@dataclass
+class LVSResult:
+    """Outcome of one comparison. ``ok`` iff the netlists are isomorphic
+    under the anchor-respecting net map."""
+
+    ok: bool
+    net_map: Dict[str, str] = field(default_factory=dict)
+    diffs: List[str] = field(default_factory=list)
+    left_devices: int = 0
+    right_devices: int = 0
+
+
+def _devices(c: Circuit) -> List[_Dev]:
+    devs: List[_Dev] = []
+    for t in c.transistors:
+        devs.append(("enh", t.label, t.gate, (t.a, t.b)))
+    for d in c.loads:
+        devs.append(("load", d.label, None, (d.node,)))
+    return devs
+
+
+def _relevant_nets(c: Circuit, devs: Sequence[_Dev], anchors) -> List[str]:
+    """Nets that matter for matching: device pins plus anchored nets.
+
+    Isolated, unanchored nets (a floating sliver extracted from the
+    layout, say) carry no connectivity and are ignored -- they are DRC /
+    ERC business, not graph identity.
+    """
+    nets = set(anchors) | {VDD, GND}
+    for kind, _label, gate, chans in devs:
+        if gate is not None:
+            nets.add(gate)
+        nets.update(chans)
+    return sorted(nets)
+
+
+def _refine(
+    nets_l: Sequence[str], devs_l: Sequence[_Dev], colors_l: Dict[str, int],
+    nets_r: Sequence[str], devs_r: Sequence[_Dev], colors_r: Dict[str, int],
+    rounds: int = 0,
+) -> None:
+    """Refine both colourings in lockstep until the partition is stable.
+
+    Classes only ever split, so ``len(nets)`` rounds suffice; colours are
+    canonicalised through one shared table per round, keeping them
+    comparable across the two sides.
+    """
+    rounds = rounds or (len(nets_l) + len(nets_r) + 2)
+    for _ in range(rounds):
+        canon: Dict[tuple, int] = {}
+
+        def pass_one(nets, devs, colors):
+            pins: Dict[str, List[tuple]] = {n: [] for n in nets}
+            for kind, _label, gate, chans in devs:
+                g = colors.get(gate, -1) if gate is not None else -1
+                sig = (kind, g, tuple(sorted(colors.get(c, -1) for c in chans)))
+                if gate is not None and gate in pins:
+                    pins[gate].append((sig, "g"))
+                for c in chans:
+                    if c in pins:
+                        pins[c].append((sig, "c"))
+            return {n: (colors[n], tuple(sorted(pins[n]))) for n in nets}
+
+        sigs_l = pass_one(nets_l, devs_l, colors_l)
+        sigs_r = pass_one(nets_r, devs_r, colors_r)
+        new_l = {n: canon.setdefault(sigs_l[n], len(canon)) for n in nets_l}
+        new_r = {n: canon.setdefault(sigs_r[n], len(canon)) for n in nets_r}
+        stable = len(set(new_l.values()) | set(new_r.values())) == len(
+            set(colors_l.values()) | set(colors_r.values())
+        )
+        colors_l.update(new_l)
+        colors_r.update(new_r)
+        if stable:
+            return
+
+
+def _classes(
+    nets_l: Sequence[str], colors_l: Dict[str, int],
+    nets_r: Sequence[str], colors_r: Dict[str, int],
+) -> Dict[int, Tuple[List[str], List[str]]]:
+    out: Dict[int, Tuple[List[str], List[str]]] = {}
+    for n in nets_l:
+        out.setdefault(colors_l[n], ([], []))[0].append(n)
+    for n in nets_r:
+        out.setdefault(colors_r[n], ([], []))[1].append(n)
+    return out
+
+
+def _individuate(
+    nets_l, devs_l, colors_l, nets_r, devs_r, colors_r, budget: List[int]
+) -> Optional[Dict[str, str]]:
+    """Resolve symmetric colour classes by trial pairing + re-refinement."""
+    _refine(nets_l, devs_l, colors_l, nets_r, devs_r, colors_r)
+    classes = _classes(nets_l, colors_l, nets_r, colors_r)
+    for left, right in classes.values():
+        if len(left) != len(right):
+            return None
+    multi = sorted(
+        (c for c, (l, _r) in classes.items() if len(l) > 1),
+        key=lambda c: len(classes[c][0]),
+    )
+    if not multi:
+        return {l: classes[colors_l[l]][1][0] for l in nets_l}
+    left, right = classes[multi[0]]
+    pivot = min(left)
+    fresh = max(max(colors_l.values(), default=0),
+                max(colors_r.values(), default=0)) + 1
+    for candidate in sorted(right):
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        trial_l = dict(colors_l)
+        trial_r = dict(colors_r)
+        trial_l[pivot] = fresh
+        trial_r[candidate] = fresh
+        result = _individuate(
+            nets_l, devs_l, trial_l, nets_r, devs_r, trial_r, budget
+        )
+        if result is not None:
+            return result
+    return None
+
+
+def compare(
+    left: Circuit,
+    right: Circuit,
+    anchors: Optional[Dict[str, str]] = None,
+    max_trials: int = 4000,
+) -> LVSResult:
+    """Match *left* (drawn) against *right* (extracted).
+
+    *anchors* maps left net names to right net names for the boundary
+    ports; the rails anchor themselves.  Diffs are reported at net
+    granularity: which equivalence classes failed to pair, and which
+    devices have no counterpart under the final map.
+    """
+    anchors = dict(anchors or {})
+    anchors.setdefault(VDD, VDD)
+    anchors.setdefault(GND, GND)
+    devs_l, devs_r = _devices(left), _devices(right)
+    nets_l = _relevant_nets(left, devs_l, anchors)
+    nets_r = _relevant_nets(right, devs_r, anchors.values())
+    result = LVSResult(
+        ok=False, left_devices=len(devs_l), right_devices=len(devs_r)
+    )
+    if len(devs_l) != len(devs_r):
+        result.diffs.append(
+            f"device count mismatch: {len(devs_l)} drawn vs "
+            f"{len(devs_r)} extracted"
+        )
+    kinds_l = Counter(d[0] for d in devs_l)
+    kinds_r = Counter(d[0] for d in devs_r)
+    if kinds_l != kinds_r:
+        result.diffs.append(
+            f"device kind mismatch: drawn {dict(kinds_l)} vs "
+            f"extracted {dict(kinds_r)}"
+        )
+
+    # Initial colours: anchored nets get a shared colour per anchor pair.
+    colors_l = {n: 0 for n in nets_l}
+    colors_r = {n: 0 for n in nets_r}
+    for i, (l, r) in enumerate(sorted(anchors.items()), start=1):
+        if l in colors_l:
+            colors_l[l] = i
+        if r in colors_r:
+            colors_r[r] = i
+    _refine(nets_l, devs_l, colors_l, nets_r, devs_r, colors_r)
+
+    classes = _classes(nets_l, colors_l, nets_r, colors_r)
+    mismatched = {
+        c: (l, r) for c, (l, r) in classes.items() if len(l) != len(r)
+    }
+    if mismatched:
+
+        def degree(n: str, devs: Sequence[_Dev]) -> int:
+            return sum(
+                (1 if gate == n else 0) + chans.count(n)
+                for _k, _lab, gate, chans in devs
+            )
+
+        for _c, (lns, rns) in sorted(mismatched.items()):
+            result.diffs.append(
+                "net class mismatch: drawn "
+                f"{[(n, degree(n, devs_l)) for n in sorted(lns)]} vs extracted "
+                f"{[(n, degree(n, devs_r)) for n in sorted(rns)]} "
+                "(name, pin count)"
+            )
+        return result
+
+    net_map = _individuate(
+        nets_l, devs_l, dict(colors_l), nets_r, devs_r, dict(colors_r),
+        [max_trials],
+    )
+    if net_map is None:
+        result.diffs.append(
+            "no consistent net pairing found for the symmetric classes"
+        )
+        return result
+
+    # Edge-consistency verification: every device must exist on both
+    # sides under the map, as a multiset.
+    def edge_set(devs, rename) -> Counter:
+        return Counter(
+            (
+                kind,
+                rename(gate) if gate is not None else None,
+                tuple(sorted(rename(c) for c in chans)),
+            )
+            for kind, _label, gate, chans in devs
+        )
+
+    left_edges = edge_set(devs_l, lambda n: net_map.get(n, n))
+    right_edges = edge_set(devs_r, lambda n: n)
+    for edge, count in (left_edges - right_edges).items():
+        result.diffs.append(
+            f"drawn device {edge} (x{count}) has no extracted counterpart"
+        )
+    for edge, count in (right_edges - left_edges).items():
+        result.diffs.append(
+            f"extracted device {edge} (x{count}) has no drawn counterpart"
+        )
+    # Anchors must have survived refinement verbatim.
+    for l, r in anchors.items():
+        if l in net_map and net_map[l] != r:
+            result.diffs.append(
+                f"anchor violated: port net {l} mapped to {net_map[l]}, "
+                f"expected {r}"
+            )
+    result.net_map = net_map
+    result.ok = not result.diffs
+    return result

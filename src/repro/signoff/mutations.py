@@ -1,0 +1,229 @@
+"""Seeded defects: one mutation per pipeline stage, for mutation tests.
+
+Each mutation plants a known physical or electrical defect in a copy of
+a clean cell -- a sliver of metal, a shorted pair of tracks, a missing
+contact, an undersized pullup, a mis-phased transfer gate, an unbuffered
+pass chain -- chosen so exactly one stage of the pipeline is responsible
+for catching it.  The test suite asserts that the responsible stage
+reports an error naming the defect while the stages upstream of it stay
+clean, and that the unmutated cells pass everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..circuit.netlist import VDD, Circuit
+from ..errors import SignoffError
+from ..layout.cells import (
+    PULLUP_L,
+    TRACK_PITCH,
+    CellBundle,
+    CellLayout,
+    accumulator_bundle,
+    comparator_bundle,
+)
+from ..layout.geometry import Point, Rect
+from ..layout.layers import Layer
+from .pipeline import Signoff
+from .report import SignoffReport
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """What was planted and which stage must catch it."""
+
+    name: str
+    stage: str           # the responsible pipeline stage
+    rule: str            # substring expected in the finding's rule
+    description: str
+
+
+def _copy_layout(layout: CellLayout) -> CellLayout:
+    return CellLayout(
+        layout.name + ".mutant",
+        {layer: list(rects) for layer, rects in layout.rects.items()},
+        dict(layout.ports),
+        layout.width,
+        layout.height,
+    )
+
+
+def _copy_circuit(c: Circuit) -> Circuit:
+    out = Circuit(c.name + ".mutant", retention_ns=c.retention_ns)
+    for t in c.transistors:
+        out.add_enhancement(t.gate, t.a, t.b, t.label)
+    for d in c.loads:
+        out.add_depletion_load(d.node, d.label)
+    return out
+
+
+def _with_layout(bundle: CellBundle, layout: CellLayout) -> CellBundle:
+    return CellBundle(
+        layout.name, bundle.circuit, bundle.ports, bundle.clocks,
+        bundle.sticks, layout,
+    )
+
+
+# -- the mutants ------------------------------------------------------------
+
+def drc_metal_sliver() -> Tuple[Mutation, CellBundle]:
+    """An isolated 1-lambda metal sliver: a width violation, nothing else."""
+    b = comparator_bundle(True)
+    layout = _copy_layout(b.layout)
+    # Far enough above the VDD rail to violate no spacing rule, touching
+    # nothing -- electrically inert, geometrically illegal.
+    y = layout.height + 5
+    layout.add(Layer.METAL, Rect(4, y, 5, y + 3))
+    return (
+        Mutation(
+            "drc-metal-sliver", "drc", "metal-width",
+            "isolated 1-lambda-wide metal sliver above the cell",
+        ),
+        _with_layout(b, layout),
+    )
+
+
+def lvs_shorted_tracks() -> Tuple[Mutation, CellBundle]:
+    """A poly bridge shorting the p_in track to the s_in track."""
+    b = comparator_bundle(True)
+    layout = _copy_layout(b.layout)
+    y = layout.ports["p_in"][0].y
+    # A legal-width vertical poly strap spanning from the p_in track to
+    # the s_in track two pitches below (the slot between them is empty at
+    # this x); DRC cannot object (touching poly merges), but the
+    # extracted netlist now has one net where the schematic has two.
+    layout.add(Layer.POLY, Rect(8, y, 10, y + 2 * TRACK_PITCH + 1))
+    return (
+        Mutation(
+            "lvs-shorted-tracks", "lvs", "mismatch",
+            "poly bridge merging the p_in track with the s_in track",
+        ),
+        _with_layout(b, layout),
+    )
+
+
+def lvs_missing_contact() -> Tuple[Mutation, CellBundle]:
+    """Drop the diffusion-metal contact on the first device's source."""
+    b = comparator_bundle(True)
+    layout = _copy_layout(b.layout)
+    probe = Point(18, 6)  # source stub contact of device 0 (pass_p)
+    cuts = layout.rects.get(Layer.CONTACT, [])
+    keep = [c for c in cuts if not c.contains_point(probe)]
+    if len(keep) != len(cuts) - 1:
+        raise SignoffError(
+            f"expected exactly one contact at {probe}; layout changed?"
+        )
+    layout.rects[Layer.CONTACT] = keep
+    return (
+        Mutation(
+            "lvs-missing-contact", "lvs", "mismatch",
+            "source contact of the p-input pass transistor removed "
+            "(an open: the device floats off its net)",
+        ),
+        _with_layout(b, layout),
+    )
+
+
+def erc_undersized_pullup() -> Tuple[Mutation, CellBundle]:
+    """Shrink the first depletion gate from L=8 to L=2: ratio collapses."""
+    b = comparator_bundle(True)
+    layout = _copy_layout(b.layout)
+    site = next(p for p, dep in b.sticks.transistor_sites() if dep)
+    half = PULLUP_L // 2
+    long_gate = Rect(site.x - 1, site.y - half, site.x + 1, site.y + half)
+    poly = layout.rects[Layer.POLY]
+    if long_gate not in poly:
+        raise SignoffError("elongated pullup gate not found; layout changed?")
+    poly[poly.index(long_gate)] = Rect(
+        site.x - 1, site.y - 1, site.x + 1, site.y + 1
+    )
+    return (
+        Mutation(
+            "erc-undersized-pullup", "erc", "ratio",
+            "depletion pullup gate shortened to a square: Z drops from 4 "
+            "to 1, the inverter ratio from 8:1 to 2:1",
+        ),
+        _with_layout(b, layout),
+    )
+
+
+def erc_misphased_transfer() -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
+    """Regate the accumulator's t_xfer onto the master's own phase.
+
+    The master/slave separation of ``t`` collapses: master write, slave
+    refresh, and the t' logic all fire in one phase -- the same-phase
+    feedback loop the clock-discipline rule hunts."""
+    b = accumulator_bundle(True)
+    circuit = _copy_circuit(b.circuit)
+    idx = [
+        i for i, t in enumerate(circuit.transistors)
+        if t.label.endswith("t_xfer")
+    ]
+    if len(idx) != 1:
+        raise SignoffError("expected exactly one t_xfer transistor")
+    t = circuit.transistors[idx[0]]
+    circuit.transistors[idx[0]] = replace(t, gate=b.clocks[0])
+    ports = tuple(sorted(set(b.ports.values()) - set(b.clocks)))
+    return (
+        Mutation(
+            "erc-misphased-transfer", "erc", "clock-discipline",
+            "t_xfer regated from clkB to clkA: the t master/slave loop "
+            "closes within one phase",
+        ),
+        (circuit, b.clocks, ports),
+    )
+
+
+def timing_unbuffered_chain() -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
+    """Hang a 50-stage unbuffered pass chain off the comparator output."""
+    b = comparator_bundle(True)
+    circuit = _copy_circuit(b.circuit)
+    prev = b.ports["d_out"]
+    for i in range(50):
+        nxt = f"chain{i}"
+        circuit.add_enhancement(VDD, prev, nxt, label=f"chain.{i}")
+        prev = nxt
+    ports = tuple(sorted(set(b.ports.values()) - set(b.clocks)))
+    return (
+        Mutation(
+            "timing-unbuffered-chain", "timing", "phase-budget",
+            "50 series pass transistors with no restoring stage: Elmore "
+            "delay grows as the square of the chain length and blows the "
+            "100 ns phase budget",
+        ),
+        (circuit, b.clocks, ports),
+    )
+
+
+#: name -> factory; layout mutants return a CellBundle, netlist mutants a
+#: (circuit, clocks, ports) triple.
+LAYOUT_MUTANTS = {
+    "drc-metal-sliver": drc_metal_sliver,
+    "lvs-shorted-tracks": lvs_shorted_tracks,
+    "lvs-missing-contact": lvs_missing_contact,
+    "erc-undersized-pullup": erc_undersized_pullup,
+}
+NETLIST_MUTANTS = {
+    "erc-misphased-transfer": erc_misphased_transfer,
+    "timing-unbuffered-chain": timing_unbuffered_chain,
+}
+
+
+def mutant_names() -> List[str]:
+    return list(LAYOUT_MUTANTS) + list(NETLIST_MUTANTS)
+
+
+def run_mutant(name: str, signoff: Signoff = None) -> Tuple[Mutation, SignoffReport]:
+    """Build the mutant and push it through the pipeline."""
+    signoff = signoff or Signoff()
+    if name in LAYOUT_MUTANTS:
+        mutation, bundle = LAYOUT_MUTANTS[name]()
+        return mutation, signoff.run_cell(bundle=bundle)
+    if name in NETLIST_MUTANTS:
+        mutation, (circuit, clocks, ports) = NETLIST_MUTANTS[name]()
+        return mutation, signoff.run_netlist(
+            circuit, clocks, ports, name=mutation.name
+        )
+    raise SignoffError(f"unknown mutant {name!r}")

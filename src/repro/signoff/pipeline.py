@@ -1,0 +1,357 @@
+"""The signoff driver: DRC + extraction + LVS + ERC + timing, one report.
+
+``Signoff.run_cell`` verifies one cell bundle end to end: the layout is
+design-rule checked, extracted back to a netlist, proven equivalent to
+the drawn circuit (LVS), then the *extracted* circuit -- geometry and
+all -- is linted (ERC) and timed.  ``Signoff.run_chip`` does the same
+for every cell twin and adds the assembly-level audits: floorplan
+consistency, a flat device census of the emitted CIF, supply-rail
+isolation, and ERC + timing over the whole-array netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..circuit.chipnet import MatcherArrayNetlist
+from ..circuit.netlist import Circuit
+from ..layout.assembly import ChipAssembler
+from ..layout.cells import CellBundle, cell_bundle
+from ..layout.cif import parse_cif
+from ..layout.design_rules import DesignRuleChecker, gate_channels
+from ..layout.geometry import Point, Rect, RectIndex
+from ..layout.layers import Layer
+from ..timing.model import TimingModel
+from .erc import ERCContext, run_erc
+from .extract import ConductorNets, Extraction, extract_cell
+from .lvs import compare
+from .report import SignoffReport, StageReport
+from .timing import TimingParams, timing_findings
+
+#: The four cell twins of the chip.
+CELL_KINDS: Tuple[Tuple[str, bool], ...] = (
+    ("comparator", True),
+    ("comparator", False),
+    ("accumulator", True),
+    ("accumulator", False),
+)
+
+
+class Signoff:
+    """Configured pipeline: run cells, netlists, or the whole chip."""
+
+    def __init__(
+        self,
+        timing_model: Optional[TimingModel] = None,
+        timing_params: TimingParams = TimingParams(),
+        required_ratio: float = 4.0,
+    ):
+        self.timing_model = timing_model or TimingModel()
+        self.timing_params = timing_params
+        self.required_ratio = required_ratio
+        self.drc = DesignRuleChecker()
+
+    # -- stage helpers (each returns a StageReport) ------------------------
+
+    def drc_stage(self, bundle: CellBundle) -> StageReport:
+        stage = StageReport("drc")
+        for v in self.drc.check(bundle.layout.rects):
+            stage.add(v.rule, "error", v.detail, where=bundle.name)
+        return stage
+
+    def extraction_stage(
+        self, bundle: CellBundle
+    ) -> Tuple[StageReport, Extraction]:
+        stage = StageReport("extraction")
+        ex = extract_cell(bundle.layout)
+        for w in ex.warnings:
+            stage.add("extract", "warning", w, where=bundle.name)
+        stage.add(
+            "census",
+            "info",
+            f"{ex.n_devices} devices ({ex.n_loads} depletion loads), "
+            f"{ex.n_nets} nets",
+            where=bundle.name,
+        )
+        return stage, ex
+
+    def lvs_stage(self, bundle: CellBundle, ex: Extraction) -> StageReport:
+        stage = StageReport("lvs")
+        anchors = {
+            drawn_node: ex.net_of_port[ext]
+            for ext, drawn_node in bundle.ports.items()
+            if ext in ex.net_of_port
+        }
+        result = compare(bundle.circuit, ex.circuit, anchors)
+        for diff in result.diffs:
+            stage.add("mismatch", "error", diff, where=bundle.name)
+        if result.ok:
+            stage.add(
+                "match",
+                "info",
+                f"{result.left_devices} drawn devices == "
+                f"{result.right_devices} extracted, "
+                f"{len(result.net_map)} nets mapped",
+                where=bundle.name,
+            )
+        return stage
+
+    def erc_stage(
+        self,
+        circuit: Circuit,
+        clocks: Sequence[str],
+        ports: Sequence[str],
+        device_geom: Optional[Dict] = None,
+        where: str = "",
+    ) -> StageReport:
+        stage = StageReport("erc")
+        ctx = ERCContext(
+            circuit,
+            clocks=tuple(clocks),
+            ports=frozenset(ports),
+            device_geom=dict(device_geom or {}),
+            required_ratio=self.required_ratio,
+        )
+        for f in run_erc(ctx):
+            stage.findings.append(
+                f if not where or f.where else
+                type(f)(f.stage, f.rule, f.severity, f.detail, where)
+            )
+        return stage
+
+    def timing_stage(
+        self,
+        circuit: Circuit,
+        clocks: Sequence[str],
+        ports: Sequence[str],
+        device_geom: Optional[Dict] = None,
+    ) -> StageReport:
+        stage = StageReport("timing")
+        stage.extend(
+            timing_findings(
+                circuit,
+                clocks,
+                ports=ports,
+                device_geom=device_geom,
+                model=self.timing_model,
+                params=self.timing_params,
+            )
+        )
+        return stage
+
+    # -- drivers -----------------------------------------------------------
+
+    def run_cell(
+        self,
+        kind: str = "comparator",
+        positive: bool = True,
+        bundle: Optional[CellBundle] = None,
+    ) -> SignoffReport:
+        """Full pipeline on one cell (or a supplied, possibly mutated,
+        bundle)."""
+        b = bundle or cell_bundle(kind, positive)
+        report = SignoffReport(b.name)
+        report.stages.append(self.drc_stage(b))
+        ex_stage, ex = self.extraction_stage(b)
+        report.stages.append(ex_stage)
+        report.stages.append(self.lvs_stage(b, ex))
+        clocks = [ex.net_of_port.get(c, c) for c in b.clocks]
+        ports = sorted(set(ex.net_of_port.values()))
+        report.stages.append(
+            self.erc_stage(ex.circuit, clocks, ports, ex.device_geom)
+        )
+        report.stages.append(
+            self.timing_stage(ex.circuit, clocks, ports, ex.device_geom)
+        )
+        return report
+
+    def run_netlist(
+        self,
+        circuit: Circuit,
+        clocks: Sequence[str],
+        ports: Sequence[str],
+        name: str = "netlist",
+    ) -> SignoffReport:
+        """ERC + timing on a drawn netlist (no geometry stages)."""
+        report = SignoffReport(name)
+        report.stages.append(self.erc_stage(circuit, clocks, ports))
+        report.stages.append(self.timing_stage(circuit, clocks, ports))
+        return report
+
+    def run_chip(self, columns: int = 8, char_bits: int = 2) -> SignoffReport:
+        """Signoff of the assembled prototype chip.
+
+        Cell-level DRC/extraction/LVS for all four twins, the assembly
+        audits, and whole-array ERC + timing on the drawn chip netlist
+        (the assembly routes power and abutment only, so electrical
+        chip-level checks run on the reference netlist the cells were
+        proven equivalent to)."""
+        report = SignoffReport(f"chip_{columns}x{char_bits}")
+        drc = StageReport("drc")
+        extraction = StageReport("extraction")
+        lvs = StageReport("lvs")
+        for kind, positive in CELL_KINDS:
+            b = cell_bundle(kind, positive)
+            drc.extend(self.drc_stage(b).findings)
+            ex_stage, ex = self.extraction_stage(b)
+            extraction.extend(ex_stage.findings)
+            lvs.extend(self.lvs_stage(b, ex).findings)
+        report.stages.append(drc)
+        report.stages.append(extraction)
+        report.stages.append(lvs)
+
+        net = MatcherArrayNetlist(columns, char_bits)
+        ports = (
+            list(net.p_edge) + list(net.s_edge)
+            + [net.lam_edge, net.x_edge, net.r_edge]
+        )
+        report.stages.append(
+            self.erc_stage(net.circuit, net.phi, ports)
+        )
+        report.stages.append(
+            self.timing_stage(net.circuit, net.phi, ports)
+        )
+        report.stages.append(self.assembly_stage(columns, char_bits))
+        return report
+
+    # -- assembly audits ---------------------------------------------------
+
+    def assembly_stage(self, columns: int, char_bits: int) -> StageReport:
+        stage = StageReport("assembly")
+        asm = ChipAssembler(columns, char_bits)
+        fp = asm.floorplan()
+
+        # Floorplan: instances must not overlap, pads must sit on the die
+        # and match the pin inventory.
+        boxes = []
+        for cname, x, y in fp.cell_instances:
+            cell = asm._cells[cname]
+            boxes.append(Rect(x, y, x + cell.width, y + cell.height))
+        index = RectIndex(boxes)
+        overlaps = 0
+        for i, r in enumerate(boxes):
+            for j in index.near(r):
+                if j > i and r.intersects(boxes[j]):
+                    overlaps += 1
+                    stage.add(
+                        "floorplan-overlap",
+                        "error",
+                        f"instances {fp.cell_instances[i]} and "
+                        f"{fp.cell_instances[j]} overlap",
+                    )
+        die = Rect(0, 0, fp.die_width, fp.die_height)
+        for pin, rect in fp.pads:
+            if not die.contains(rect):
+                stage.add(
+                    "floorplan-pad",
+                    "error",
+                    f"pad {pin} at {rect} falls outside the die {die}",
+                    where=pin,
+                )
+        if fp.n_pads != len(asm.pin_names()):
+            stage.add(
+                "floorplan-pad",
+                "error",
+                f"{fp.n_pads} pads placed for {len(asm.pin_names())} pins",
+            )
+        else:
+            stage.add(
+                "floorplan",
+                "info",
+                f"{fp.n_cells} cells, {fp.n_pads} pads, no overlaps"
+                if not overlaps
+                else f"{fp.n_cells} cells, {fp.n_pads} pads",
+            )
+
+        # Flat CIF: parse what the assembler emits, recover lambda
+        # geometry, and census the transistors.
+        parsed = parse_cif(asm.to_cif())
+        flat_half = parsed.flatten()
+        flat: Dict[Layer, list] = {}
+        odd = False
+        for layer, rects in flat_half.items():
+            halved = []
+            for r in rects:
+                if any(v % 2 for v in (r.x0, r.y0, r.x1, r.y1)):
+                    odd = True
+                    continue
+                halved.append(Rect(r.x0 // 2, r.y0 // 2, r.x1 // 2, r.y1 // 2))
+            flat[layer] = halved
+        if odd:
+            stage.add(
+                "cif-grid",
+                "error",
+                "flattened CIF geometry is off the half-lambda grid",
+            )
+        expected = 0
+        for cname, _x, _y in fp.cell_instances:
+            cell = asm._cells[cname]
+            expected += len(
+                gate_channels(
+                    cell.rects.get(Layer.POLY, []),
+                    cell.rects.get(Layer.DIFFUSION, []),
+                    cell.rects.get(Layer.CONTACT, []),
+                )
+            )
+        found = len(
+            gate_channels(
+                flat.get(Layer.POLY, []),
+                flat.get(Layer.DIFFUSION, []),
+                flat.get(Layer.CONTACT, []),
+            )
+        )
+        if found != expected:
+            stage.add(
+                "cif-census",
+                "error",
+                f"flat CIF has {found} transistor channels; the floorplan "
+                f"promises {expected}",
+            )
+        else:
+            stage.add(
+                "cif-census", "info", f"{found} transistor channels on the die"
+            )
+
+        # Supply isolation: the VDD and GND rails of every placed cell
+        # must never share a net (rows may legally share rails among
+        # themselves through abutment).
+        nets = ConductorNets(flat)
+        margin_x = (fp.die_width - fp.core_width) // 2
+        margin_y = (fp.die_height - fp.core_height) // 2
+        vdd_nets, gnd_nets = set(), set()
+        open_rails = 0
+        for cname, x, y in fp.cell_instances:
+            cell = asm._cells[cname]
+            for pname, bucket in (("VDD", vdd_nets), ("GND", gnd_nets)):
+                point, layer = cell.ports[pname]
+                nid = nets.net_at(
+                    Point(point.x + x + margin_x, point.y + y + margin_y),
+                    layer,
+                )
+                if nid is None:
+                    open_rails += 1
+                    stage.add(
+                        "rail-open",
+                        "error",
+                        f"{pname} rail probe of {cname} at ({x},{y}) hits "
+                        "no metal",
+                        where=cname,
+                    )
+                else:
+                    bucket.add(nid)
+        shorted = vdd_nets & gnd_nets
+        if shorted:
+            stage.add(
+                "rail-short",
+                "error",
+                f"VDD and GND rails share {len(shorted)} net(s): the "
+                "assembly shorts the supplies",
+            )
+        elif not open_rails:
+            stage.add(
+                "rail-isolation",
+                "info",
+                f"{len(vdd_nets)} VDD rail net(s), {len(gnd_nets)} GND rail "
+                "net(s), disjoint",
+            )
+        return stage

@@ -1,0 +1,154 @@
+"""Findings, stage reports, and the machine-readable signoff report.
+
+Every check in the pipeline reduces to :class:`Finding` records with a
+severity; a chip "passes signoff" exactly when no finding of severity
+``error`` exists.  The report serialises to JSON so CI can archive it and
+gate merges on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import SignoffError
+
+#: Recognised severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+#: Pipeline stages in execution order.
+STAGES = ("drc", "extraction", "lvs", "erc", "timing", "assembly")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One observation from one pipeline stage.
+
+    ``stage`` names the pipeline stage, ``rule`` the specific check
+    (e.g. ``"metal-width"`` or ``"clock-discipline"``), ``where`` the
+    cell/net/device the finding anchors to.
+    """
+
+    stage: str
+    rule: str
+    severity: str
+    detail: str
+    where: str = ""
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise SignoffError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "stage": self.stage,
+            "rule": self.rule,
+            "severity": self.severity,
+            "detail": self.detail,
+            "where": self.where,
+        }
+
+    def __str__(self) -> str:
+        loc = f" [{self.where}]" if self.where else ""
+        return f"{self.severity.upper():7s} {self.stage}/{self.rule}{loc}: {self.detail}"
+
+
+@dataclass
+class StageReport:
+    """All findings of one stage, plus whether the stage ran at all."""
+
+    stage: str
+    findings: List[Finding] = field(default_factory=list)
+    ran: bool = True
+
+    def add(self, rule: str, severity: str, detail: str, where: str = "") -> Finding:
+        f = Finding(self.stage, rule, severity, detail, where)
+        self.findings.append(f)
+        return f
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return self.ran and not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "ran": self.ran,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+@dataclass
+class SignoffReport:
+    """The whole pipeline's verdict on one design (a cell or the chip)."""
+
+    name: str
+    stages: List[StageReport] = field(default_factory=list)
+
+    def stage(self, name: str) -> StageReport:
+        """The report of stage *name* (raises if the stage never ran)."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise SignoffError(f"no stage {name!r} in report {self.name!r}")
+
+    def has_stage(self, name: str) -> bool:
+        return any(s.stage == name for s in self.stages)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for s in self.stages for f in s.findings]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """Signoff verdict: every stage ran clean of errors."""
+        return all(s.ok for s in self.stages)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """A terminal-friendly digest: one line per stage, then findings."""
+        lines = [f"signoff: {self.name}  --  {'PASS' if self.ok else 'FAIL'}"]
+        for s in self.stages:
+            verdict = "ok" if s.ok else "FAIL"
+            lines.append(
+                f"  {s.stage:10s} {verdict:4s}  "
+                f"{len(s.errors)} error(s), {len(s.warnings)} warning(s)"
+            )
+        shown = [f for f in self.findings if f.severity != "info"]
+        for f in shown:
+            lines.append(f"  {f}")
+        return "\n".join(lines)

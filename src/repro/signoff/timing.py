@@ -1,0 +1,149 @@
+"""Timing closure: worst-case RC paths per clock phase vs the beat.
+
+"the chip can achieve a data rate of one character every 250 ns" -- each
+phase of the two-phase clock gets half a beat minus the non-overlap gap
+to propagate through every pass-transistor chain it turns on.  The check
+is an Elmore-delay estimate: a signal leaving a driven net (a gate
+output, a pad, a rail) and rippling through the conducting switches of
+the phase accumulates ``sum(R_cumulative * C_node)`` along the chain.
+Channel resistance scales with the extracted Z = L/W when geometry is
+available (a pass chain of n minimum devices is the classic O(n^2)
+delay the paper's cells avoid by re-buffering every stage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import GND, VDD, Circuit
+from ..timing.model import TimingModel
+from .extract import ChannelGeom
+from .report import Finding
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Electrical constants for the estimate (5-micron NMOS ballpark)."""
+
+    r_on_ohm: float = 10_000.0   # channel on-resistance of a square device
+    c_node_pf: float = 0.05      # lumped node capacitance
+    elmore_factor: float = 0.7   # step-response 50% point scaling
+    nonoverlap_ns: float = 25.0  # two-phase clock dead time per half-beat
+
+    def budget_ns(self, model: TimingModel) -> float:
+        """Settling budget per phase: half a beat minus the dead time."""
+        return model.beat_ns / 2 - self.nonoverlap_ns
+
+
+@dataclass
+class PathDelay:
+    """The worst chain found for one phase."""
+
+    phase: str
+    delay_ns: float
+    budget_ns: float
+    path: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.delay_ns <= self.budget_ns
+
+    def to_finding(self) -> Finding:
+        route = " - ".join(self.path)
+        detail = (
+            f"phase {self.phase}: worst path {self.delay_ns:.1f} ns vs "
+            f"{self.budget_ns:.1f} ns budget ({route})"
+        )
+        severity = "info" if self.ok else "error"
+        return Finding("timing", "phase-budget", severity, detail, self.phase)
+
+
+def worst_paths(
+    circuit: Circuit,
+    clocks: Sequence[str],
+    ports: Sequence[str] = (),
+    device_geom: Optional[Dict[str, ChannelGeom]] = None,
+    model: Optional[TimingModel] = None,
+    params: TimingParams = TimingParams(),
+    max_depth: int = 64,
+) -> List[PathDelay]:
+    """One :class:`PathDelay` per phase: the slowest settling chain.
+
+    Sources are driven nets (load outputs, ports, clocks, rails); a
+    chain runs through every switch that might conduct during the phase
+    (gated by the phase, by VDD, or by data -- only the opposite phase is
+    known off) and ends where it meets another driven net or runs out of
+    conducting channels."""
+
+    model = model or TimingModel()
+    geom = device_geom or {}
+    budget = params.budget_ns(model)
+    sources = (
+        {d.node for d in circuit.loads}
+        | set(ports)
+        | set(clocks)
+        | {VDD, GND}
+    )
+
+    def resistance(label: str) -> float:
+        g = geom.get(label)
+        z = g.z if g is not None else 1.0
+        return params.r_on_ohm * z
+
+    out: List[PathDelay] = []
+    for phase in clocks:
+        others = set(clocks) - {phase}
+        adj: Dict[str, List] = {}
+        for t in circuit.transistors:
+            if t.gate in others or t.gate == GND:
+                continue
+            adj.setdefault(t.a, []).append(t)
+            adj.setdefault(t.b, []).append(t)
+
+        best = PathDelay(phase, 0.0, budget)
+
+        def walk(net: str, r_cum: float, delay: float,
+                 path: Tuple[str, ...], used: frozenset) -> None:
+            nonlocal best
+            if delay > best.delay_ns:
+                best = PathDelay(phase, delay, budget, path)
+            if len(path) > max_depth:
+                return
+            for t in adj.get(net, ()):
+                if t in used:
+                    continue
+                other = t.b if t.a == net else t.a
+                if other in path:
+                    continue
+                r = r_cum + resistance(t.label)
+                d = delay + (
+                    params.elmore_factor * r * params.c_node_pf * 1e-3
+                )  # ohm * pF = 1e-12 s = 1e-3 ns
+                if other in sources:
+                    if d > best.delay_ns:
+                        best = PathDelay(phase, d, budget, path + (other,))
+                    continue
+                walk(other, r, d, path + (other,), used | {t})
+
+        for src in sorted(sources):
+            walk(src, 0.0, 0.0, (src,), frozenset())
+        out.append(best)
+    return out
+
+
+def timing_findings(
+    circuit: Circuit,
+    clocks: Sequence[str],
+    ports: Sequence[str] = (),
+    device_geom: Optional[Dict[str, ChannelGeom]] = None,
+    model: Optional[TimingModel] = None,
+    params: TimingParams = TimingParams(),
+) -> List[Finding]:
+    """Findings form of :func:`worst_paths` for the pipeline."""
+    return [
+        p.to_finding()
+        for p in worst_paths(
+            circuit, clocks, ports=ports, device_geom=device_geom,
+            model=model, params=params,
+        )
+    ]

@@ -1,0 +1,237 @@
+"""Electrical-rule lint and Elmore timing closure."""
+
+import pytest
+
+from repro.circuit.netlist import GND, VDD, Circuit
+from repro.layout.cells import cell_bundle
+from repro.signoff.erc import (
+    ALL_RULES,
+    ClockDisciplineRule,
+    DynamicRefreshRule,
+    ERCContext,
+    FloatingGateRule,
+    RatioRule,
+    SneakPathRule,
+    run_erc,
+)
+from repro.signoff.extract import ChannelGeom, extract_cell
+from repro.signoff.timing import TimingParams, timing_findings, worst_paths
+from repro.timing.model import TimingModel
+
+
+def _findings(rule, circuit, **kw):
+    ctx = ERCContext(circuit, **kw)
+    return rule.run(ctx)
+
+
+def _geom(length, width, depletion=False):
+    from repro.layout.geometry import Rect
+
+    return ChannelGeom(length, width, depletion, Rect(0, 0, width, length))
+
+
+class TestFloatingGate:
+    def test_undriven_gate_flagged(self):
+        c = Circuit("c")
+        c.add_enhancement("mystery", "x", GND, label="t")
+        out = _findings(FloatingGateRule(), c, ports=frozenset({"x"}))
+        assert len(out) == 1 and out[0].where == "mystery"
+
+    def test_port_and_channel_gates_are_fine(self):
+        c = Circuit("c")
+        c.add_enhancement("a", "x", GND, label="t1")
+        c.add_enhancement("x", "y", GND, label="t2")  # x driven as channel
+        out = _findings(FloatingGateRule(), c, ports=frozenset({"a", "y"}))
+        assert out == []
+
+
+class TestDynamicRefresh:
+    def _storage(self, refresh_gate):
+        c = Circuit("c")
+        c.add_enhancement(refresh_gate, "d", "s", label="wr")
+        c.add_enhancement("s", "q", GND, label="rd")
+        return c
+
+    def test_clock_refreshed_storage_passes(self):
+        c = self._storage("phi1")
+        out = _findings(
+            DynamicRefreshRule(), c, clocks=("phi1",),
+            ports=frozenset({"d", "q"}),
+        )
+        assert out == []
+
+    def test_data_gated_storage_flagged(self):
+        c = self._storage("enable")
+        out = _findings(
+            DynamicRefreshRule(), c, clocks=("phi1",),
+            ports=frozenset({"d", "q", "enable"}),
+        )
+        assert [f.where for f in out] == ["s"]
+
+
+class TestClockDiscipline:
+    def test_master_slave_is_clean(self):
+        c = Circuit("c")
+        c.add_enhancement("phi1", "d", "m", label="wr")
+        c.add_enhancement("m", "mbar", GND, label="inv")
+        c.add_enhancement("phi2", "mbar", "s", label="xfer")
+        out = _findings(
+            ClockDisciplineRule(), c, clocks=("phi1", "phi2"),
+            ports=frozenset({"d", "s"}),
+        )
+        assert out == []
+
+    def test_same_phase_feedback_flagged(self):
+        # The slave transfer regated onto phi1: write and read-back close
+        # a loop inside one phase.
+        c = Circuit("c")
+        c.add_enhancement("phi1", "d", "m", label="wr")
+        c.add_enhancement("m", "mbar", "z", label="inv")
+        c.add_enhancement("phi1", "mbar", "m", label="fb")
+        out = _findings(
+            ClockDisciplineRule(), c, clocks=("phi1", "phi2"),
+            ports=frozenset({"d", "z"}),
+        )
+        assert len(out) == 1 and out[0].where == "phi1"
+
+
+class TestRatio:
+    def _inv(self):
+        c = Circuit("c")
+        c.add_depletion_load("out", label="pu")
+        c.add_enhancement("a", "out", GND, label="pd")
+        return c
+
+    def test_no_geometry_is_an_info_skip(self):
+        out = _findings(RatioRule(), self._inv(), ports=frozenset({"a"}))
+        assert [f.severity for f in out] == ["info"]
+
+    def test_standard_sizing_passes(self):
+        geom = {"pu": _geom(8, 2, True), "pd": _geom(2, 4)}
+        out = _findings(
+            RatioRule(), self._inv(), ports=frozenset({"a"}), device_geom=geom
+        )
+        assert out == []
+
+    def test_series_stack_at_exactly_four_passes(self):
+        c = Circuit("c")
+        c.add_depletion_load("out", label="pu")
+        c.add_enhancement("a", "out", "mid", label="pd1")
+        c.add_enhancement("b", "mid", GND, label="pd2")
+        geom = {
+            "pu": _geom(8, 2, True),
+            "pd1": _geom(2, 4),
+            "pd2": _geom(2, 4),
+        }
+        out = _findings(
+            RatioRule(), c, ports=frozenset({"a", "b"}), device_geom=geom
+        )
+        assert out == []  # 4 / (0.5 + 0.5) == 4.0, boundary inclusive
+
+    def test_weak_pullup_flagged(self):
+        geom = {"pu": _geom(2, 2, True), "pd": _geom(2, 4)}
+        out = _findings(
+            RatioRule(), self._inv(), ports=frozenset({"a"}), device_geom=geom
+        )
+        assert len(out) == 1 and out[0].severity == "error"
+        assert "ratio 2.00" in out[0].detail
+
+
+class TestSneakPath:
+    def test_direct_bridge_flagged(self):
+        c = Circuit("c")
+        c.add_enhancement("g", VDD, GND, label="bridge")
+        out = _findings(SneakPathRule(), c, ports=frozenset({"g"}))
+        assert any("bridges VDD and GND" in f.detail for f in out)
+
+    def test_pass_chain_between_rails_flagged(self):
+        c = Circuit("c")
+        c.add_enhancement("e1", VDD, "mid", label="p1")
+        c.add_enhancement("e2", "mid", GND, label="p2")
+        out = _findings(SneakPathRule(), c, ports=frozenset({"e1", "e2"}))
+        assert len(out) == 1
+        assert f"{VDD} - mid - {GND}" in out[0].detail
+
+    def test_inverter_pulldown_is_not_a_sneak_path(self):
+        c = Circuit("c")
+        c.add_depletion_load("out", label="pu")
+        c.add_enhancement("a", "out", GND, label="pd")
+        out = _findings(SneakPathRule(), c, ports=frozenset({"a"}))
+        assert out == []
+
+
+class TestCleanCells:
+    @pytest.mark.parametrize("kind", ["comparator", "accumulator"])
+    @pytest.mark.parametrize("positive", [True, False])
+    def test_extracted_cells_pass_all_rules(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        clocks = tuple(ex.net_of_port.get(c, c) for c in b.clocks)
+        ctx = ERCContext(
+            ex.circuit,
+            clocks=clocks,
+            ports=frozenset(ex.net_of_port.values()),
+            device_geom=ex.device_geom,
+        )
+        findings = run_erc(ctx)
+        assert [f for f in findings if f.severity != "info"] == []
+
+    def test_rule_battery_is_complete(self):
+        assert {r.name for r in ALL_RULES} == {
+            "floating-gate", "dynamic-refresh", "clock-discipline",
+            "ratio", "sneak-path",
+        }
+
+
+class TestTiming:
+    def test_budget_is_half_beat_minus_nonoverlap(self):
+        assert TimingParams().budget_ns(TimingModel()) == pytest.approx(100.0)
+
+    def _chain(self, n):
+        c = Circuit("c")
+        prev = "src"
+        for i in range(n):
+            c.add_enhancement(VDD, prev, f"n{i}", label=f"p{i}")
+            prev = f"n{i}"
+        return c
+
+    def test_short_chain_within_budget(self):
+        paths = worst_paths(
+            self._chain(5), clocks=("phi1",), ports=("src",)
+        )
+        assert all(p.ok for p in paths)
+        assert paths[0].delay_ns == pytest.approx(0.35 * 15)  # 0.35*n(n+1)/2
+
+    def test_long_chain_blows_budget(self):
+        paths = worst_paths(
+            self._chain(40), clocks=("phi1",), ports=("src",)
+        )
+        assert not paths[0].ok
+        assert paths[0].delay_ns == pytest.approx(0.35 * 820)
+
+    def test_other_phase_devices_are_off(self):
+        c = Circuit("c")
+        c.add_enhancement("phi2", "src", "far", label="xfer")
+        paths = worst_paths(c, clocks=("phi1", "phi2"), ports=("src", "far"))
+        by_phase = {p.phase: p for p in paths}
+        assert by_phase["phi1"].delay_ns == 0.0
+        assert by_phase["phi2"].delay_ns > 0.0
+
+    def test_resistance_scales_with_extracted_z(self):
+        c = self._chain(1)
+        slow = worst_paths(
+            c, clocks=("phi1",), ports=("src",),
+            device_geom={"p0": _geom(8, 2)},
+        )
+        fast = worst_paths(
+            c, clocks=("phi1",), ports=("src",),
+            device_geom={"p0": _geom(2, 4)},
+        )
+        assert slow[0].delay_ns == pytest.approx(8 * fast[0].delay_ns)
+
+    def test_findings_form(self):
+        findings = timing_findings(
+            self._chain(40), clocks=("phi1",), ports=("src",)
+        )
+        assert [f.severity for f in findings] == ["error"]
+        assert findings[0].rule == "phase-budget"

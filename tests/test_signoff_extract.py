@@ -1,0 +1,141 @@
+"""Layout extraction: mask geometry back to transistors and nets."""
+
+import pytest
+
+from repro.circuit.netlist import GND, VDD
+from repro.layout.cells import cell_bundle
+from repro.layout.geometry import Point, Rect
+from repro.layout.layers import Layer
+from repro.signoff.extract import ConductorNets, extract, extract_cell
+
+
+def _crossing(implant=False, contact=False):
+    """A single poly/diffusion crossing with optional implant/contact."""
+    rects = {
+        Layer.POLY: [Rect(0, 4, 10, 6)],
+        Layer.DIFFUSION: [Rect(4, 0, 6, 10)],
+    }
+    if implant:
+        rects[Layer.IMPLANT] = [Rect(2, 2, 8, 8)]
+    if contact:
+        rects[Layer.CONTACT] = [Rect(4, 4, 6, 6)]
+    return rects
+
+
+PORTS = {
+    "g": (Point(1, 5), Layer.POLY),
+    "s": (Point(5, 1), Layer.DIFFUSION),
+    "d": (Point(5, 9), Layer.DIFFUSION),
+}
+
+
+class TestSingleDevice:
+    def test_enhancement_from_crossing(self):
+        ex = extract(_crossing(), PORTS)
+        assert ex.n_devices == 1 and ex.n_loads == 0
+        (t,) = ex.circuit.transistors
+        assert t.gate == "g"
+        assert {t.a, t.b} == {"s", "d"}
+        assert ex.warnings == []
+
+    def test_channel_geometry_follows_current_direction(self):
+        ex = extract(_crossing(), PORTS)
+        geom = ex.device_geom[ex.circuit.transistors[0].label]
+        # Fragments sit above and below: vertical current, L = height.
+        assert (geom.length, geom.width) == (2, 2)
+        assert geom.depletion is False
+
+    def test_butting_contact_suppresses_transistor(self):
+        ex = extract(_crossing(contact=True), PORTS)
+        assert ex.n_devices == 0 and ex.n_loads == 0
+        # The cut joins poly and diffusion into one net.
+        assert ex.net_of_port["g"] == ex.net_of_port["s"]
+
+    def test_implant_plus_vdd_terminal_is_depletion_load(self):
+        ports = dict(PORTS)
+        ports["VDD"] = ports.pop("d")
+        ex = extract(_crossing(implant=True), ports)
+        assert ex.n_loads == 1 and ex.circuit.transistors == []
+        assert ex.circuit.loads[0].node == "s"
+        geom = ex.device_geom[ex.circuit.loads[0].label]
+        assert geom.depletion is True
+
+    def test_rail_ports_map_to_rail_nets(self):
+        ports = dict(PORTS)
+        ports["GND"] = ports.pop("s")
+        ex = extract(_crossing(), ports)
+        assert ex.net_of_port["GND"] == GND
+        (t,) = ex.circuit.transistors
+        assert GND in (t.a, t.b)
+
+    def test_port_off_any_shape_warns(self):
+        ports = {"nowhere": (Point(50, 50), Layer.METAL)}
+        ex = extract(_crossing(), ports)
+        assert any("nowhere" in w for w in ex.warnings)
+        assert "nowhere" not in ex.net_of_port
+
+
+class TestConductorNets:
+    def test_contact_joins_layers(self):
+        rects = {
+            Layer.POLY: [Rect(0, 0, 4, 2)],
+            Layer.METAL: [Rect(0, 0, 3, 3)],
+            Layer.CONTACT: [Rect(0, 0, 2, 2)],
+        }
+        nets = ConductorNets(rects)
+        assert nets.net_at(Point(1, 1), Layer.POLY) == nets.net_at(
+            Point(1, 1), Layer.METAL
+        )
+
+    def test_single_layer_contact_warns(self):
+        rects = {
+            Layer.METAL: [Rect(0, 0, 4, 4)],
+            Layer.CONTACT: [Rect(1, 1, 3, 3)],
+        }
+        nets = ConductorNets(rects)
+        assert len(nets.warnings) == 1
+
+    def test_disjoint_shapes_are_distinct_nets(self):
+        rects = {Layer.METAL: [Rect(0, 0, 4, 4), Rect(10, 0, 14, 4)]}
+        nets = ConductorNets(rects)
+        a = nets.net_at(Point(1, 1), Layer.METAL)
+        b = nets.net_at(Point(11, 1), Layer.METAL)
+        assert a is not None and b is not None and a != b
+
+    def test_net_at_open_point_is_none(self):
+        nets = ConductorNets({Layer.METAL: [Rect(0, 0, 4, 4)]})
+        assert nets.net_at(Point(40, 40), Layer.METAL) is None
+
+
+@pytest.mark.parametrize("kind", ["comparator", "accumulator"])
+@pytest.mark.parametrize("positive", [True, False])
+class TestCellExtraction:
+    def test_census_matches_drawn_circuit(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        assert ex.warnings == []
+        assert ex.n_devices == b.circuit.n_transistors
+        assert ex.n_loads == len(b.circuit.loads)
+
+    def test_every_port_lands_on_a_net(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        assert set(ex.net_of_port) == set(b.layout.ports)
+        assert ex.net_of_port["VDD"] == VDD
+        assert ex.net_of_port["GND"] == GND
+
+    def test_geometry_classes_are_the_two_standard_sizes(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        classes = {
+            (g.depletion, g.length, g.width) for g in ex.device_geom.values()
+        }
+        # Pullups L=8 W=2 (Z=4); switches L=2 W=4 (Z=1/2): the 4:1 style.
+        assert classes == {(True, 8, 2), (False, 2, 4)}
+
+    def test_right_edge_ports_share_left_edge_nets(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        for pname, net in ex.net_of_port.items():
+            if pname.endswith("_r"):
+                assert net == ex.net_of_port[pname[:-2]]

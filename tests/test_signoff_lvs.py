@@ -1,0 +1,110 @@
+"""LVS: drawn-versus-extracted graph matching."""
+
+import pytest
+
+from repro.circuit.netlist import GND, VDD, Circuit
+from repro.layout.cells import cell_bundle
+from repro.signoff.extract import extract_cell
+from repro.signoff.lvs import compare
+
+
+def _inverter(name="inv", out="out", inp="a"):
+    c = Circuit(name)
+    c.add_depletion_load(out, label="pu")
+    c.add_enhancement(inp, out, GND, label="pd")
+    return c
+
+
+class TestCompareBasics:
+    def test_circuit_matches_itself(self):
+        res = compare(_inverter(), _inverter("copy"))
+        assert res.ok and not res.diffs
+
+    def test_renamed_internals_still_match(self):
+        res = compare(
+            _inverter(out="x", inp="y"), _inverter("r", out="p", inp="q")
+        )
+        assert res.ok
+        assert res.net_map["x"] == "p" and res.net_map["y"] == "q"
+
+    def test_device_count_mismatch_is_a_diff(self):
+        left = _inverter()
+        right = _inverter("r")
+        right.add_enhancement("a", "out", GND, label="extra")
+        res = compare(left, right)
+        assert not res.ok
+        assert any("device count mismatch" in d for d in res.diffs)
+
+    def test_kind_mismatch_is_a_diff(self):
+        left = _inverter()
+        right = Circuit("r")
+        right.add_enhancement(VDD, "out", VDD, label="pu")  # not a load
+        right.add_enhancement("a", "out", GND, label="pd")
+        res = compare(left, right)
+        assert not res.ok
+        assert any("kind mismatch" in d for d in res.diffs)
+
+    def test_rewired_gate_is_caught(self):
+        left = Circuit("l")
+        left.add_enhancement("g1", "x", GND, label="t1")
+        left.add_enhancement("g2", "y", GND, label="t2")
+        right = Circuit("r")
+        right.add_enhancement("g1", "y", GND, label="t1")  # crossed over
+        right.add_enhancement("g2", "x", GND, label="t2")
+        anchors = {"g1": "g1", "g2": "g2", "x": "x", "y": "y"}
+        res = compare(left, right, anchors)
+        assert not res.ok
+
+    def test_anchor_forces_the_pairing(self):
+        # Two interchangeable inverters: anchoring one input fixes both.
+        def pair(n1, n2, o1, o2, name):
+            c = Circuit(name)
+            for inp, out in ((n1, o1), (n2, o2)):
+                c.add_depletion_load(out, label=f"pu.{out}")
+                c.add_enhancement(inp, out, GND, label=f"pd.{out}")
+            return c
+
+        left = pair("a", "b", "ao", "bo", "l")
+        right = pair("p", "q", "po", "qo", "r")
+        res = compare(left, right, {"a": "q"})
+        assert res.ok
+        assert res.net_map["a"] == "q" and res.net_map["ao"] == "qo"
+
+    def test_symmetric_classes_resolved_by_individuation(self):
+        # With no anchors the two inverters are indistinguishable; the
+        # matcher must still find a consistent bijection.
+        def pair(name):
+            c = Circuit(name)
+            for inp, out in (("a", "ao"), ("b", "bo")):
+                c.add_depletion_load(out, label=f"pu.{out}")
+                c.add_enhancement(inp, out, GND, label=f"pd.{out}")
+            return c
+
+        res = compare(pair("l"), pair("r"))
+        assert res.ok
+        assert res.net_map["ao"] == res.net_map["a"] + "o"
+
+    def test_floating_extracted_net_is_ignored(self):
+        left = _inverter()
+        right = _inverter("r")
+        right.node("sliver")  # isolated net: DRC business, not LVS
+        res = compare(left, right)
+        assert res.ok
+
+
+@pytest.mark.parametrize("kind", ["comparator", "accumulator"])
+@pytest.mark.parametrize("positive", [True, False])
+class TestCellLVS:
+    def test_drawn_equals_extracted(self, kind, positive):
+        b = cell_bundle(kind, positive)
+        ex = extract_cell(b.layout)
+        anchors = {
+            node: ex.net_of_port[ext]
+            for ext, node in b.ports.items()
+            if ext in ex.net_of_port
+        }
+        res = compare(b.circuit, ex.circuit, anchors)
+        assert res.ok, res.diffs
+        assert res.left_devices == res.right_devices
+        # Every drawn net with a device pin has an extracted counterpart.
+        assert len(res.net_map) >= len(anchors)

@@ -1,0 +1,148 @@
+"""The signoff driver, the CLI gate, seeded-defect mutants, designflow."""
+
+import json
+
+import pytest
+
+from repro.errors import MethodologyError, SignoffError
+from repro.methodology.designflow import DesignFlow
+from repro.signoff.__main__ import main
+from repro.signoff.mutations import mutant_names, run_mutant
+from repro.signoff.pipeline import CELL_KINDS, Signoff
+from repro.signoff.report import Finding, SignoffReport, StageReport
+
+STAGE_ORDER = ["drc", "extraction", "lvs", "erc", "timing"]
+
+
+@pytest.fixture(scope="module")
+def signoff():
+    return Signoff()
+
+
+class TestReport:
+    def test_finding_rejects_unknown_severity(self):
+        with pytest.raises(SignoffError):
+            Finding("drc", "r", "fatal", "boom")
+
+    def test_stage_lookup(self):
+        rep = SignoffReport("x", [StageReport("drc")])
+        assert rep.stage("drc").ok
+        assert rep.has_stage("drc") and not rep.has_stage("lvs")
+        with pytest.raises(SignoffError):
+            rep.stage("lvs")
+
+    def test_errors_flip_ok(self):
+        stage = StageReport("drc")
+        assert stage.ok
+        stage.add("metal-width", "error", "too thin")
+        rep = SignoffReport("x", [stage])
+        assert not stage.ok and not rep.ok
+        assert len(rep.errors) == 1
+
+    def test_json_round_trip(self, signoff):
+        rep = signoff.run_cell("comparator", True)
+        data = json.loads(rep.to_json())
+        assert data["name"] == "comparator_pos"
+        assert data["ok"] is True
+        assert [s["stage"] for s in data["stages"]] == STAGE_ORDER
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("kind,positive", CELL_KINDS)
+    def test_every_cell_twin_signs_off(self, signoff, kind, positive):
+        rep = signoff.run_cell(kind, positive)
+        assert rep.ok, rep.summary()
+        assert [s.stage for s in rep.stages] == STAGE_ORDER
+
+    def test_chip_signs_off(self, signoff):
+        rep = signoff.run_chip(4, 2)
+        assert rep.ok, rep.summary()
+        assert [s.stage for s in rep.stages] == STAGE_ORDER + ["assembly"]
+        assert "PASS" in rep.summary()
+
+
+class TestMutants:
+    @pytest.mark.parametrize("name", mutant_names())
+    def test_caught_by_its_stage_and_only_downstream(self, signoff, name):
+        mutation, rep = run_mutant(name, signoff)
+        stage = rep.stage(mutation.stage)
+        assert any(
+            mutation.rule in f.rule and f.severity == "error"
+            for f in stage.findings
+        ), f"{name}: {mutation.stage} missed it: {rep.summary()}"
+        for upstream in STAGE_ORDER[: STAGE_ORDER.index(mutation.stage)]:
+            if rep.has_stage(upstream):
+                assert rep.stage(upstream).ok, (
+                    f"{name}: upstream {upstream} dirty: {rep.summary()}"
+                )
+
+    def test_unknown_mutant_raises(self, signoff):
+        with pytest.raises(SignoffError):
+            run_mutant("no-such-defect", signoff)
+
+
+class TestCLI:
+    def test_clean_cell_exits_zero(self, capsys):
+        assert main(["--cell", "comparator", "--quiet"]) == 0
+
+    def test_mutant_exits_nonzero_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "--mutant", "drc-metal-sliver", "--json", str(out), "--quiet"
+        ])
+        assert code == 1
+        data = json.loads(out.read_text())
+        assert data["ok"] is False
+
+    def test_summary_printed_by_default(self, capsys):
+        main(["--cell", "accumulator", "--negative"])
+        out = capsys.readouterr().out
+        assert "PASS" in out and "lvs" in out
+
+
+class TestDesignFlowGates:
+    def test_default_flow_has_no_signoff_tasks(self):
+        flow = DesignFlow(2, 2)
+        assert not any(t.startswith("signoff_") for t in flow.graph.tasks)
+
+    def test_signoff_tasks_registered_with_blocking_split(self):
+        flow = DesignFlow(2, 2, signoff=True)
+        gates = [t for t in flow.graph.tasks if t.startswith("signoff_")]
+        assert sorted(gates) == [
+            "signoff_drc", "signoff_erc", "signoff_extraction",
+            "signoff_lvs", "signoff_timing",
+        ]
+        assert flow.graph.is_blocking("signoff_lvs")
+        assert not flow.graph.is_blocking("signoff_timing")
+
+    def test_is_blocking_unknown_task_raises(self):
+        flow = DesignFlow(2, 2)
+        with pytest.raises(MethodologyError):
+            flow.graph.is_blocking("no_such_task")
+
+    def test_flow_with_signoff_runs_clean(self):
+        flow = DesignFlow(2, 2, signoff=True)
+        arts = flow.run()
+        for gate in ("signoff_drc", "signoff_extraction", "signoff_lvs",
+                     "signoff_erc", "signoff_timing"):
+            assert arts[gate]["ok"] is True
+
+    def test_advisory_failure_is_recorded_not_raised(self):
+        flow = DesignFlow(2, 2, signoff=True)
+
+        def explode():
+            raise SignoffError("missed the beat")
+
+        flow._runners["signoff_timing"] = explode
+        arts = flow.run()
+        assert arts["signoff_timing"] == {"advisory_failure": "missed the beat"}
+
+    def test_blocking_failure_raises(self):
+        flow = DesignFlow(2, 2, signoff=True)
+
+        def explode():
+            raise SignoffError("netlists differ")
+
+        flow._runners["signoff_lvs"] = explode
+        with pytest.raises(SignoffError):
+            flow.run()
