@@ -34,7 +34,14 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from repro import Alphabet, BitLevelMatcher, FastMatcher, PatternMatcher, match_oracle
+from repro import (
+    Alphabet,
+    BitLevelMatcher,
+    FastMatcher,
+    Observability,
+    PatternMatcher,
+    match_oracle,
+)
 from repro.chip.chip import ChipSpec
 from repro.circuit import simulator
 from repro.circuit.chipnet import GateLevelMatcher
@@ -115,7 +122,7 @@ def bench_char_matching(quick: bool) -> Dict[str, object]:
 
     fast = PatternMatcher(pattern, AB4)  # routes match() to FastMatcher
     step = PatternMatcher(pattern, AB4, use_fast_path=False)
-    fast_s, fast_out = _timed(lambda: fast.match(text))
+    fast_s, fast_out = _timed(lambda: fast.match(text), 1 if quick else 3)
     step_s, step_out = _timed(lambda: step.match(text))
     oracle = match_oracle(fast.pattern, list(text))
 
@@ -183,6 +190,89 @@ def bench_service_throughput(quick: bool) -> Dict[str, object]:
     }
 
 
+def bench_obs_overhead(quick: bool, bound: float = 3.0) -> Dict[str, object]:
+    """Observability cost on the two hot paths.
+
+    The obs-off path must stay the plain hot path (attaching ``None``
+    restores it exactly), and even with metrics+spans on, the slowdown
+    must stay under *bound* -- the fast path publishes two counters per
+    match and the settle loop two counters per call, nothing per-event.
+    Results must be identical in all three configurations.
+    """
+    pattern = "ABXCA"
+    n = 20_000 if quick else 100_000
+    text = make_text(n)
+    repeats = 2 if quick else 3
+
+    off = PatternMatcher(pattern, AB4)
+    off_s, off_out = _timed(lambda: off.match(text), repeats)
+    on = PatternMatcher(pattern, AB4, obs=Observability())
+    on_s, on_out = _timed(lambda: on.match(text), repeats)
+    detached = PatternMatcher(pattern, AB4, obs=Observability())
+    detached.attach_obs(None)
+    det_s, det_out = _timed(lambda: detached.match(text), repeats)
+
+    g_text = "ABCAACACCAB" * (2 if quick else 4)
+    g_off = GateLevelMatcher("AXC", AB4)
+    g_off.match(g_text)  # warm partition caches: compare steady state
+    g_off_s, g_off_out = _timed(lambda: g_off.match(g_text), repeats)
+    g_on = GateLevelMatcher("AXC", AB4)
+    g_on.attach_obs(Observability())
+    g_on.match(g_text)
+    g_on_s, g_on_out = _timed(lambda: g_on.match(g_text), repeats)
+
+    fast_ratio = on_s / off_s if off_s > 0 else float("inf")
+    settle_ratio = g_on_s / g_off_s if g_off_s > 0 else float("inf")
+    return {
+        "fast_off_s": off_s,
+        "fast_on_s": on_s,
+        "fast_detached_s": det_s,
+        "fast_obs_ratio": fast_ratio,
+        "settle_off_s": g_off_s,
+        "settle_on_s": g_on_s,
+        "settle_obs_ratio": settle_ratio,
+        "obs_bound": bound,
+        "within_bound": fast_ratio <= bound and settle_ratio <= bound,
+        "equivalent": off_out == on_out == det_out
+        and g_off_out == g_on_out,
+    }
+
+
+def check_baseline(
+    report: Dict[str, object], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Compare obs-off hot-path timings against a recorded baseline.
+
+    Returns human-readable failure strings for every watched number that
+    regressed by more than *max_regression* (fractional; 0.10 = 10%).
+    """
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    watched = [
+        ("char_matching", "fast_s"),
+        ("circuit_settle", "event_steady_s"),
+    ]
+    failures = []
+    for section, key in watched:
+        old = base.get(section, {}).get(key)
+        new = report.get(section, {}).get(key)
+        if old is None or new is None:
+            failures.append(f"{section}.{key}: missing from report or baseline")
+            continue
+        limit = old * (1.0 + max_regression)
+        status = "ok" if new <= limit else "REGRESSED"
+        print(
+            f"[baseline] {section}.{key}: {new:.6g}s vs {old:.6g}s "
+            f"(limit {limit:.6g}s) {status}"
+        )
+        if new > limit:
+            failures.append(
+                f"{section}.{key} regressed: {new:.6g}s > "
+                f"{old:.6g}s * {1 + max_regression:.2f}"
+            )
+    return failures
+
+
 def main(argv: List[str] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -191,6 +281,18 @@ def main(argv: List[str] = None) -> int:
     )
     ap.add_argument(
         "--out", default="BENCH_pr2.json", help="output JSON path"
+    )
+    ap.add_argument(
+        "--obs-bound", type=float, default=3.0,
+        help="max allowed obs-on/obs-off slowdown on the hot paths",
+    )
+    ap.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline BENCH json; fail on hot-path wall-time regressions",
+    )
+    ap.add_argument(
+        "--max-regression", type=float, default=0.10,
+        help="allowed fractional slowdown vs --baseline (0.10 = 10%%)",
     )
     args = ap.parse_args(argv)
 
@@ -206,6 +308,8 @@ def main(argv: List[str] = None) -> int:
         ("char_matching", bench_char_matching),
         ("bit_gate_agreement", bench_bit_gate_agreement),
         ("service_throughput", bench_service_throughput),
+        ("obs_overhead",
+         lambda quick: bench_obs_overhead(quick, args.obs_bound)),
     ]
     failed = []
     for name, fn in sections:
@@ -219,13 +323,22 @@ def main(argv: List[str] = None) -> int:
             if isinstance(v, float):
                 v = f"{v:.6g}"
             print(f"    {k}: {v}")
+    if not report["obs_overhead"]["within_bound"]:
+        failed.append("obs_overhead (slowdown over --obs-bound)")
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    if args.baseline:
+        for line in check_baseline(report, args.baseline,
+                                   args.max_regression):
+            print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            failed.append("baseline")
+
     if failed:
-        print(f"EQUIVALENCE FAILURES in: {', '.join(failed)}", file=sys.stderr)
+        print(f"FAILURES in: {', '.join(failed)}", file=sys.stderr)
         return 1
     return 0
 

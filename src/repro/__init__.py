@@ -39,6 +39,7 @@ from .core import (
     multipass_match,
 )
 from .errors import ReproError
+from .obs import MetricsRegistry, Observability, Tracer
 
 __version__ = "1.0.0"
 
@@ -48,10 +49,13 @@ __all__ = [
     "BitLevelMatcher",
     "FastMatcher",
     "MatchReport",
+    "MetricsRegistry",
+    "Observability",
     "PROTOTYPE_ALPHABET",
     "PatternChar",
     "PatternMatcher",
     "ReproError",
+    "Tracer",
     "SystolicMatcherArray",
     "WILDCARD",
     "count_oracle",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
 
 class Table:
@@ -56,3 +56,15 @@ class Table:
 
     def print(self) -> None:
         print(self.render())
+
+
+def kv_table(title: str, mapping: Mapping[str, object]) -> Table:
+    """A two-column metric/value table from a mapping (insertion order).
+
+    The shared shape of the telemetry summary and the trace-replay
+    report sections.
+    """
+    t = Table(["metric", "value"], title=title)
+    for key, value in mapping.items():
+        t.row([str(key).replace("_", " "), value])
+    return t

@@ -41,11 +41,21 @@ class ChipCascade:
                     MATCHER_CHANNELS,
                     lambda i: MatcherCellKernel(),
                     ("p", "s"),
+                    name=f"{spec.name}[{c}]",
                 )
-                for _ in range(n_chips)
+                for c in range(n_chips)
             ]
         )
         self._pattern: List[PatternChar] = []
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle on every chip in the
+        chain (per-stage ``array.*`` metrics) and record ``cascade.match``
+        spans around runs."""
+        self.obs = obs
+        for stage in self.chain.stages:
+            stage.attach_obs(obs)
 
     @property
     def capacity(self) -> int:
@@ -81,6 +91,12 @@ class ChipCascade:
         n_beats = reference.beats_needed(len(tokens))
         schedule = reference.input_schedule(items, tokens, n_beats)
         self.chain.reset()
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.begin(
+                "cascade.match", t0=0.0, unit="beats",
+                chips=self.n_chips, capacity=self.capacity, chars=len(chars),
+            )
         raw: Dict[int, object] = {}
         for beat_in in schedule:
             out = self.chain.step(beat_in)
@@ -89,6 +105,8 @@ class ChipCascade:
                 r_out = out["r"]
                 if isinstance(r_out, ResultToken):
                     raw[s_out.index] = r_out.value
+        if span is not None:
+            self.obs.tracer.end(span, t1=float(self.chain.beat))
         k = len(self._pattern) - 1
         return [
             bool(raw.get(i, False)) if i >= k else False

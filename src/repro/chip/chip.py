@@ -74,10 +74,20 @@ class PatternMatchingChip:
             )
         self.spec = spec
         self.alphabet = alphabet
-        self.array = SystolicMatcherArray(spec.n_cells)
+        self.array = SystolicMatcherArray(spec.n_cells, name=spec.name)
         self._pattern: Optional[List[PatternChar]] = None
         self._stream: Optional[RecirculatingPattern] = None
         self._fast: Optional[FastMatcher] = None
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle.
+
+        The chip's array publishes beat/fire counters labelled with the
+        spec name; :meth:`report` runs wrap in a ``chip.report`` span.
+        """
+        self.obs = obs
+        self.array.attach_obs(obs)
 
     # -- pattern loading ------------------------------------------------------
 
@@ -122,24 +132,38 @@ class PatternMatchingChip:
         if self._stream is None:
             raise ChipError("no pattern loaded")
         chars = self.alphabet.validate_text(text)
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.begin(
+                "chip.report", t0=0.0, unit="beats", chip=self.spec.name,
+                chars=len(chars), pattern_len=len(self._pattern),
+            )
         raw = self.array.run(self._stream.items, chars)
         k = len(self._pattern) - 1
         results = [
             bool(raw.get(i, False)) if i >= k else False
             for i in range(len(chars))
         ]
-        return MatchReport(
+        rep = MatchReport(
             results=results,
             beats=self.array.array.beat,
             utilization=self.array.utilization(),
         )
+        if span is not None:
+            self.obs.tracer.end(
+                span, t1=float(rep.beats),
+                matches=len(rep.match_positions),
+                utilization=rep.utilization,
+            )
+        return rep
 
     def match_long_pattern(self, pattern, text: Sequence[str]) -> List[bool]:
         """Section 3.4 multipass operation for patterns beyond capacity."""
         parsed = parse_pattern(pattern, self.alphabet) if not (
             pattern and all(isinstance(pc, PatternChar) for pc in pattern)
         ) else list(pattern)
-        return multipass_match(parsed, list(text), self.spec.n_cells)
+        return multipass_match(parsed, list(text), self.spec.n_cells,
+                               obs=self.obs)
 
     # -- timing ----------------------------------------------------------------------
 

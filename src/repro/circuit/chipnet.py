@@ -157,6 +157,29 @@ class MatcherArrayNetlist:
     def n_transistors(self) -> int:
         return self.circuit.n_transistors
 
+    def vcd_probe(self, signals=None, writer=None):
+        """A :class:`~repro.obs.vcd.CircuitProbe` over the interesting
+        nets, sampled at every clock phase of :meth:`pulse`.
+
+        The default signal set follows the VCD naming scheme
+        ``chip.<what>``: both clock phases, every edge pin, and the
+        result output of accumulator column 0 (the chip's R_OUT).
+        Pass an explicit display-name -> node-name mapping for anything
+        else (internal comparator stores, per-cell ``eq``...).
+        """
+        from ..obs.vcd import CircuitProbe  # local: obs is optional here
+
+        if signals is None:
+            signals = {"phi1": "phi1", "phi2": "phi2"}
+            for j in range(self.w):
+                signals[f"pin.p{j}"] = self.p_edge[j]
+                signals[f"pin.s{j}"] = self.s_edge[j]
+            signals["pin.lam"] = self.lam_edge
+            signals["pin.x"] = self.x_edge
+            signals["pin.r"] = self.r_edge
+            signals["r_out"] = self.accumulators[0]["r_out"]
+        return CircuitProbe(self.circuit, signals, writer=writer)
+
 
 class GateLevelMatcher:
     """The pattern matcher simulated transistor by transistor.
@@ -188,6 +211,13 @@ class GateLevelMatcher:
         self.w = alphabet.bits
         self.net = MatcherArrayNetlist(self.m, self.w, retention_ns=retention_ns)
         self._items = RecirculatingPattern(self.pattern).items
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach an Observability bundle (propagates to the netlist's
+        circuit, so settle metrics/spans and probes follow)."""
+        self.obs = obs
+        self.net.circuit.attach_obs(obs)
 
     def _set_edge(self, node: str, bit, invert: bool) -> None:
         """Drive an edge pin, honouring the edge cell's polarity."""
@@ -200,6 +230,17 @@ class GateLevelMatcher:
 
     def match(self, text: Sequence[str]) -> List[bool]:
         """One result bit per text character (oracle convention)."""
+        if self.obs is not None:
+            circuit = self.net.circuit
+            with self.obs.tracer.span(
+                "gate.match", clock=lambda: circuit.time_ns, unit="ns",
+                chars=len(text), cells=self.m,
+                transistors=self.n_transistors,
+            ):
+                return self._match(text)
+        return self._match(text)
+
+    def _match(self, text: Sequence[str]) -> List[bool]:
         chars = self.alphabet.validate_text(text)
         m, w = self.m, self.w
         net = self.net

@@ -93,6 +93,15 @@ class Circuit:
         self._topo_version = 0
         self._dirty_ext: Set[str] = set()
         self._event_engine = None
+        # Observability: attach_obs caches metric handles; probes (VCD
+        # samplers) fire after every settle.  Both default empty, so the
+        # settle hot path pays two cheap checks when observability is off.
+        self.obs = None
+        self._probes: List[object] = []
+        self._m_settle = None
+        self._m_passes = None
+        self._g_comps = None
+        self._g_nodes = None
         self.node(VDD).value = HIGH
         self.node(VDD).strength = Strength.FORCED
         self.node(GND).value = LOW
@@ -167,6 +176,48 @@ class Circuit:
         if self.inputs.pop(name, None) is not None:
             self._dirty_ext.add(name)
 
+    # -- observability -------------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Attach (or detach, with None) an Observability bundle.
+
+        Settle calls and passes publish as ``circuit.settle.calls`` /
+        ``circuit.settle.passes`` counters labelled by circuit name; the
+        event engine's cumulative work counters mirror into gauges.  When
+        the bundle's ``trace_circuit`` flag is set, each settle also
+        records a ``circuit.settle`` span at the current ``time_ns``.
+        """
+        self.obs = obs
+        if obs is None:
+            self._m_settle = self._m_passes = None
+            self._g_comps = self._g_nodes = None
+            return
+        reg = obs.registry
+        self._m_settle = reg.counter("circuit.settle.calls", circuit=self.name)
+        self._m_passes = reg.counter("circuit.settle.passes", circuit=self.name)
+        self._g_comps = reg.gauge(
+            "circuit.engine.comps_resolved", circuit=self.name
+        )
+        self._g_nodes = reg.gauge(
+            "circuit.engine.nodes_changed", circuit=self.name
+        )
+
+    def add_probe(self, probe) -> None:
+        """Register a sampler called after every settle (VCD capture)."""
+        self._probes.append(probe)
+
+    def engine_stats(self) -> Dict[str, int]:
+        """Cumulative event-engine work counters (zeros before first use;
+        reset whenever the topology changes and the engine rebuilds)."""
+        eng = self._event_engine
+        if eng is None:
+            return {"passes": 0, "comps_resolved": 0, "nodes_changed": 0}
+        return {
+            "passes": eng.stat_passes,
+            "comps_resolved": eng.stat_comps_resolved,
+            "nodes_changed": eng.stat_nodes_changed,
+        }
+
     # -- evaluation ---------------------------------------------------------------
 
     def settle(self, max_iterations: int = 60,
@@ -179,7 +230,23 @@ class Circuit:
         """
         from .simulator import settle as _settle
 
-        return _settle(self, max_iterations, strict_decay=strict_decay)
+        n = _settle(self, max_iterations, strict_decay=strict_decay)
+        if self.obs is not None:
+            self._m_settle.inc()
+            self._m_passes.inc(n)
+            eng = self._event_engine
+            if eng is not None:
+                self._g_comps.set(eng.stat_comps_resolved)
+                self._g_nodes.set(eng.stat_nodes_changed)
+            if self.obs.trace_circuit:
+                self.obs.tracer.record(
+                    "circuit.settle", t0=self.time_ns, t1=self.time_ns,
+                    unit="ns", circuit=self.name, passes=n,
+                )
+        if self._probes:
+            for probe in self._probes:
+                probe.sample()
+        return n
 
     def advance_time(self, dt_ns: float) -> None:
         """Advance simulated time (charge on undriven nodes ages)."""

@@ -415,6 +415,14 @@ class _EventEngine:
         #: which it was provably still driven).
         self._prev_now: float = circuit.time_ns
 
+        #: cumulative work counters, exposed through
+        #: ``Circuit.engine_stats()`` and published into the metrics
+        #: registry when an Observability bundle is attached to the
+        #: circuit.  Reset with the engine (any topology change).
+        self.stat_passes = 0
+        self.stat_comps_resolved = 0
+        self.stat_nodes_changed = 0
+
     # -- local partitions --------------------------------------------------
 
     def _local(self, c: int) -> _LocalPart:
@@ -700,7 +708,10 @@ class _EventEngine:
                     elif i in watch:
                         watch.discard(i)
                         self._deadline = None
+        self.stat_passes += 1
+        self.stat_comps_resolved += len(parts)
         if not have_maybe:
+            self.stat_nodes_changed += len(changed)
             return changed
 
         maybe_x: Set[int] = set()
@@ -760,6 +771,7 @@ class _EventEngine:
                     elif i in watch:
                         watch.discard(i)
                         self._deadline = None
+        self.stat_nodes_changed += len(changed)
         return changed
 
 

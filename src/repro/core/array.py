@@ -90,6 +90,8 @@ class SystolicMatcherArray:
         n_cells: int,
         kernel_factory: Callable[[int], object] = None,
         recorder: Optional[TraceRecorder] = None,
+        obs: Optional[object] = None,
+        name: str = "matcher-array",
     ):
         if kernel_factory is None:
             kernel_factory = lambda i: MatcherCellKernel()
@@ -99,7 +101,13 @@ class SystolicMatcherArray:
             kernel_factory=kernel_factory,
             activity_channels=("p", "s"),
             recorder=recorder,
+            obs=obs,
+            name=name,
         )
+
+    def attach_obs(self, obs: Optional[object], name: Optional[str] = None) -> None:
+        """Attach/detach an Observability bundle (delegates to the array)."""
+        self.array.attach_obs(obs, name)
 
     @property
     def n_cells(self) -> int:
@@ -205,17 +213,32 @@ class SystolicMatcherArray:
             recirculate=recirculate,
             pattern_offset=pattern_offset,
         )
-        results: Dict[int, object] = {}
-        for beat_in in schedule:
-            out = self.array.step(beat_in)
-            s_out = out["s"]
-            if not is_bubble(s_out):
-                r_out = out["r"]
-                if isinstance(r_out, ResultToken):
-                    results[s_out.index] = r_out.value
-                elif not is_bubble(r_out):
-                    results[s_out.index] = r_out
-        return results
+        obs = self.array.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "array.run", t0=float(self.array.beat), unit="beats",
+                array=self.array.name, cells=self.n_cells,
+                chars=len(tokens),
+            )
+        try:
+            results: Dict[int, object] = {}
+            for beat_in in schedule:
+                out = self.array.step(beat_in)
+                s_out = out["s"]
+                if not is_bubble(s_out):
+                    r_out = out["r"]
+                    if isinstance(r_out, ResultToken):
+                        results[s_out.index] = r_out.value
+                    elif not is_bubble(r_out):
+                        results[s_out.index] = r_out
+            return results
+        finally:
+            if span is not None:
+                obs.tracer.end(
+                    span, t1=float(self.array.beat),
+                    fires=self.array.fire_count,
+                )
 
     def utilization(self) -> float:
         """Fraction of cell-beats on which a cell fired (approaches 1/2)."""

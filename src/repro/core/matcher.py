@@ -80,6 +80,11 @@ class PatternMatcher:
         False to force every call through the beat-by-beat simulation.
         :meth:`report` always runs the stepwise array, since its beat and
         utilization figures only exist there.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Fast-path
+        matches count into ``matcher.fastpath.matches`` / ``.chars``;
+        stepwise runs additionally emit ``array.run`` spans and beat/fire
+        counters via the attached array.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class PatternMatcher:
         wildcard_symbol: str = "X",
         trace: bool = False,
         use_fast_path: bool = True,
+        obs=None,
     ):
         self.alphabet = alphabet
         if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
@@ -111,6 +117,21 @@ class PatternMatcher:
             if use_fast_path and self.recorder is None
             else None
         )
+        self.obs = None
+        self._m_fast_matches = None
+        self._m_fast_chars = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle (propagates to the array)."""
+        self.obs = obs
+        self.array.attach_obs(obs)
+        if obs is None:
+            self._m_fast_matches = self._m_fast_chars = None
+        else:
+            self._m_fast_matches = obs.registry.counter("matcher.fastpath.matches")
+            self._m_fast_chars = obs.registry.counter("matcher.fastpath.chars")
 
     # -- public API -----------------------------------------------------------
 
@@ -129,6 +150,9 @@ class PatternMatcher:
     def match(self, text: Sequence[str]) -> List[bool]:
         """One result bit per text character (Section 3.1 semantics)."""
         if self._fast is not None:
+            if self._m_fast_matches is not None:
+                self._m_fast_matches.inc()
+                self._m_fast_chars.inc(len(text))
             return self._fast.match(text)
         return self.report(text).results
 

@@ -33,12 +33,15 @@ def multipass_match(
     pattern: Sequence[PatternChar],
     text: Sequence[str],
     n_cells: int,
+    obs=None,
 ) -> List[bool]:
     """Match a pattern of any length on an ``n_cells``-cell system.
 
     Returns the same result stream as
     :meth:`repro.core.matcher.PatternMatcher.match`; the number of runs is
     ``ceil(max(0, N - k) / n_cells)`` where ``k = len(pattern) - 1``.
+    An :class:`~repro.obs.Observability` bundle, when given, records one
+    ``multipass.run`` span per pass (each wrapping its ``array.run``).
     """
     if not pattern:
         raise PatternError("pattern must be non-empty")
@@ -50,14 +53,23 @@ def multipass_match(
     k = L - 1
     n = len(text)
     results: Dict[int, object] = {}
-    array = SystolicMatcherArray(n_cells)
+    array = SystolicMatcherArray(n_cells, obs=obs, name="multipass-array")
     run = 0
     # Run r covers ending positions k + r*n_cells .. k + (r+1)*n_cells - 1.
     while k + run * n_cells < n:
         offset = (run + 1) * n_cells
+        span = None
+        if obs is not None:
+            # reset=True zeroes the beat counter, so each pass spans 0..end.
+            span = obs.tracer.begin(
+                "multipass.run", t0=0.0, unit="beats",
+                run=run, pattern_offset=offset, cells=n_cells,
+            )
         raw = array.run(
             items, text, reset=True, recirculate=False, pattern_offset=offset
         )
+        if span is not None:
+            obs.tracer.end(span, t1=float(array.array.beat))
         lo = k + run * n_cells
         hi = min(n - 1, lo + n_cells - 1)
         for q in range(lo, hi + 1):

@@ -86,6 +86,10 @@ class ExtractionError(SignoffError):
     """Layout geometry could not be interpreted as a transistor netlist."""
 
 
+class ObservabilityError(ReproError):
+    """Metrics/tracing/VCD misuse (kind mismatch, undeclared signal...)."""
+
+
 class ServiceError(ReproError):
     """Matcher-farm service layer misuse or internal inconsistency."""
 

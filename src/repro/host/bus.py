@@ -51,10 +51,25 @@ class HostBus:
     paper's introduction.
     """
 
-    def __init__(self, host: HostSpec):
+    def __init__(self, host: HostSpec, obs=None):
         self.host = host
         self.busy_ns: float = 0.0
         self.chars_moved: int = 0
+        self.obs = None
+        self._m_transfers = None
+        self._m_chars = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle; transfers count into
+        ``host.bus.transfers`` / ``host.bus.chars``."""
+        self.obs = obs
+        if obs is None:
+            self._m_transfers = self._m_chars = None
+            return
+        self._m_transfers = obs.registry.counter("host.bus.transfers")
+        self._m_chars = obs.registry.counter("host.bus.chars")
 
     def transfer(self, n_chars: int, device_beat_ns: float) -> float:
         """Move *n_chars* stream characters; returns elapsed ns.
@@ -69,6 +84,9 @@ class HostBus:
         elapsed = n_chars * per_char
         self.busy_ns += elapsed
         self.chars_moved += n_chars
+        if self._m_transfers is not None:
+            self._m_transfers.inc()
+            self._m_chars.inc(n_chars)
         return elapsed
 
     def is_device_starved(self, device_beat_ns: float) -> bool:

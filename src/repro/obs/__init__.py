@@ -1,0 +1,129 @@
+"""Unified observability: metrics, spans, and waveform export.
+
+One :class:`Observability` handle threads through the whole stack --
+``MatcherService`` job -> shard execution -> pool worker -> chip ->
+``LinearArray`` beats -> circuit ``settle()`` -- so a single trace
+records what the farm did at every level the paper describes, from
+Figure 3-2's character flow down to the two-phase clocking of the
+Figure 3-5/3-6 circuits.
+
+Usage::
+
+    from repro.obs import Observability
+
+    obs = Observability(deep=True)
+    svc = MatcherService(pool, obs=obs)
+    svc.submit("AXC", "ABCAACACCAB"); svc.drain()
+    print(obs.tracer.render_tree())
+    obs.save("trace.json")            # replay: python -m repro.obs replay
+
+Everything is opt-in: with no ``Observability`` attached, the hot paths
+pay a single ``is None`` check (the perf harness asserts the bound).
+``deep=True`` additionally re-drives each service execution through the
+stepwise array model under the tracer; ``trace_circuit=True`` goes all
+the way to the switch-level netlist (slow -- bounded by
+``circuit_char_limit``).  Deep re-execution is observation only: results
+always come from the verified fast path, so tracing can never perturb
+behaviour (asserted by the differential tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Span, TraceEvent, Tracer
+from .vcd import (
+    CircuitProbe,
+    VCDTrace,
+    VCDWriter,
+    parse_vcd,
+    render_waves,
+    vcd_value,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "VCDWriter",
+    "VCDTrace",
+    "CircuitProbe",
+    "parse_vcd",
+    "render_waves",
+    "vcd_value",
+]
+
+#: Export format version (bumped on incompatible trace layout changes).
+TRACE_FORMAT = 1
+
+
+class Observability:
+    """The bundle a run threads through the stack.
+
+    Parameters
+    ----------
+    deep:
+        Re-drive each service execution through the beat-accurate array
+        model under the tracer (adds ``chip.report``/``array.run`` spans
+        and an ``array_agrees`` cross-check attribute).
+    trace_circuit:
+        Additionally re-drive executions through the switch-level
+        netlist (``gate.match``/``circuit.settle`` spans).  Four orders
+        of magnitude slower than the fast path; texts longer than
+        ``circuit_char_limit`` skip it.
+    """
+
+    def __init__(
+        self,
+        deep: bool = False,
+        trace_circuit: bool = False,
+        circuit_char_limit: int = 64,
+        max_spans: int = 100_000,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+        self.deep = deep or trace_circuit
+        self.trace_circuit = trace_circuit
+        self.circuit_char_limit = circuit_char_limit
+
+    # -- export ------------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """The whole trace as one JSON-able dict (the replay format)."""
+        data: Dict[str, object] = {
+            "format": TRACE_FORMAT,
+            "metrics": self.registry.snapshot(),
+        }
+        data.update(self.tracer.to_dict())
+        return data
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.export(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @staticmethod
+    def load(path: str) -> Dict[str, object]:
+        """Read a saved trace back as the raw replay dict."""
+        with open(path) as fh:
+            return json.load(fh)
+
+    def render(self) -> str:
+        """Metrics table plus span tree (terminal debugging view)."""
+        return self.registry.render() + "\n\n" + self.tracer.render_tree()

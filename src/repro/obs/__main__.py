@@ -1,0 +1,96 @@
+"""``python -m repro.obs``: trace replay and the prototype-chip demo.
+
+Subcommands::
+
+    python -m repro.obs replay TRACE.json [--json OUT]
+        Aggregate a saved trace (Observability.save) into the
+        latency/utilization/queue-depth report; --json writes the
+        machine-readable report (the CI artifact format).
+
+    python -m repro.obs demo [--trace PATH] [--json OUT] [--circuit]
+        Run the Plate 2 prototype-chip farm on the paper's example,
+        fully traced, and print the report plus the span tree.
+        --circuit extends tracing down to the switch-level netlist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import Observability
+from .replay import render_report, trace_report
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    data = Observability.load(args.trace)
+    report = trace_report(data)
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from ..alphabet import PROTOTYPE_ALPHABET
+    from ..chip.prototype import PROTOTYPE
+    from ..service import MatcherService, uniform_pool
+
+    obs = Observability(deep=True, trace_circuit=args.circuit)
+    svc = MatcherService(
+        uniform_pool(args.workers, PROTOTYPE, PROTOTYPE_ALPHABET), obs=obs
+    )
+    # The paper's own example (Section 3.1): AXC over ABCAACACCAB.
+    texts = ["ABCAACACCAB" * args.repeat for _ in range(args.jobs)]
+    svc.submit_many("AXC", texts, tenant="demo")
+    svc.drain()
+
+    report = trace_report(obs.export())
+    print(render_report(report))
+    print("\nspan tree (truncated):")
+    print(obs.tracer.render_tree(max_spans=40))
+    if args.trace:
+        obs.save(args.trace)
+        print(f"\nwrote {args.trace}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__.splitlines()[0],
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("replay", help="aggregate a saved trace")
+    rep.add_argument("trace", help="trace JSON written by Observability.save")
+    rep.add_argument("--json", default=None, help="write the report as JSON")
+    rep.set_defaults(fn=_cmd_replay)
+
+    demo = sub.add_parser("demo", help="traced prototype-chip farm run")
+    demo.add_argument("--workers", type=int, default=2)
+    demo.add_argument("--jobs", type=int, default=4)
+    demo.add_argument("--repeat", type=int, default=2,
+                      help="times the example text is repeated per job")
+    demo.add_argument("--circuit", action="store_true",
+                      help="trace down to the switch-level netlist (slow)")
+    demo.add_argument("--trace", default=None, help="save the raw trace JSON")
+    demo.add_argument("--json", default=None, help="write the report as JSON")
+    demo.set_defaults(fn=_cmd_demo)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""Span-based tracing across the simulation stack.
+
+A :class:`Span` is one timed interval of *simulated* time -- a service
+job waiting and running (beats), one execution on one worker (beats),
+one ``LinearArray`` run (beats), one circuit ``settle()`` (ns).  Spans
+nest: the tracer keeps an explicit context stack so a layer that knows
+nothing about its caller still parents its spans correctly, and layers
+that complete out of stack order (the service's discrete-event loop)
+record spans with an explicit parent instead.
+
+Timestamps are supplied by the caller (beat clocks and ``time_ns`` are
+simulation state, not wall time), so traces are deterministic and
+replayable; :mod:`repro.obs.replay` turns an exported trace back into a
+latency/utilization report.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ObservabilityError
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One timed interval at one level of the stack."""
+
+    span_id: int
+    name: str
+    t0: float
+    t1: Optional[float] = None
+    unit: str = "beats"
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def open(self) -> bool:
+        return self.t1 is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "unit": self.unit,
+            "parent_id": self.parent_id,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+        }
+
+
+@dataclass
+class TraceEvent:
+    """A point record (no duration): a queue-depth sample, a fault."""
+
+    name: str
+    t: float
+    unit: str = "beats"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "t": self.t,
+            "unit": self.unit,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+        }
+
+
+class Tracer:
+    """Collects spans and events; maintains the nesting context stack.
+
+    ``max_spans``/``max_events`` bound memory on long runs: once the cap
+    is hit, further spans are created (so code holding them still works)
+    but not retained, and ``dropped_spans`` counts them.
+    """
+
+    def __init__(self, max_spans: int = 100_000, max_events: int = 100_000):
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- creation ----------------------------------------------------------
+
+    def _new(
+        self,
+        name: str,
+        t0: float,
+        t1: Optional[float],
+        unit: str,
+        parent: Optional[Span],
+        attrs: Dict[str, object],
+    ) -> Span:
+        if parent is None and self._stack:
+            parent_id: Optional[int] = self._stack[-1].span_id
+        else:
+            parent_id = parent.span_id if parent is not None else None
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            t0=float(t0),
+            t1=None if t1 is None else float(t1),
+            unit=unit,
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped_spans += 1
+        return span
+
+    def begin(
+        self,
+        name: str,
+        t0: float,
+        unit: str = "beats",
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> Span:
+        """Open a span and push it on the context stack.
+
+        Subsequent spans (from any layer) parent to it until :meth:`end`.
+        """
+        span = self._new(name, t0, None, unit, parent, attrs)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, t1: float, **attrs) -> Span:
+        """Close *span* and pop it (and any unclosed children) off the stack."""
+        span.t1 = float(t1)
+        span.attrs.update(attrs)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        return span
+
+    def open_span(
+        self,
+        name: str,
+        t0: float,
+        unit: str = "beats",
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> Span:
+        """Open a span *without* stacking it (for long-lived async work
+        like a queued service job; close with :meth:`close`)."""
+        return self._new(name, t0, None, unit, parent, attrs)
+
+    def close(self, span: Span, t1: float, **attrs) -> Span:
+        span.t1 = float(t1)
+        span.attrs.update(attrs)
+        return span
+
+    def record(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        unit: str = "beats",
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> Span:
+        """A completed span in one shot (discrete-event completions)."""
+        return self._new(name, t0, t1, unit, parent, attrs)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        unit: str = "beats",
+        parent: Optional[Span] = None,
+        **attrs,
+    ):
+        """Context manager: times the block on the caller's sim clock."""
+        s = self.begin(name, clock(), unit=unit, parent=parent, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s, clock())
+
+    @contextmanager
+    def nest(self, span: Span):
+        """Temporarily make *span* the context parent (for re-entering an
+        async span's context from a different layer)."""
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+
+    def event(self, name: str, t: float, unit: str = "beats", **attrs) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(name, float(t), unit, attrs))
+        else:
+            self.dropped_events += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> List[Span]:
+        ids = {s.span_id for s in self.spans}
+        return [
+            s for s in self.spans
+            if s.parent_id is None or s.parent_id not in ids
+        ]
+
+    def ancestry(self, span: Span) -> List[Span]:
+        """The span's parent chain, innermost first (span excluded)."""
+        by_id = {s.span_id: s for s in self.spans}
+        out: List[Span] = []
+        cur = span.parent_id
+        while cur is not None:
+            parent = by_id.get(cur)
+            if parent is None:
+                break
+            out.append(parent)
+            cur = parent.parent_id
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "events": [e.to_dict() for e in self.events],
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Tracer":
+        tracer = cls()
+        for sd in data.get("spans", []):
+            span = Span(
+                span_id=int(sd["span_id"]),
+                name=str(sd["name"]),
+                t0=float(sd["t0"]),
+                t1=None if sd.get("t1") is None else float(sd["t1"]),
+                unit=str(sd.get("unit", "beats")),
+                parent_id=sd.get("parent_id"),
+                attrs=dict(sd.get("attrs", {})),
+            )
+            tracer.spans.append(span)
+            tracer._next_id = max(tracer._next_id, span.span_id + 1)
+        for ed in data.get("events", []):
+            tracer.events.append(
+                TraceEvent(
+                    name=str(ed["name"]),
+                    t=float(ed["t"]),
+                    unit=str(ed.get("unit", "beats")),
+                    attrs=dict(ed.get("attrs", {})),
+                )
+            )
+        return tracer
+
+    def render_tree(self, max_spans: int = 200) -> str:
+        """Indented span tree (depth-first, creation order)."""
+        children: Dict[Optional[int], List[Span]] = {}
+        ids = {s.span_id for s in self.spans}
+        for s in self.spans:
+            pid = s.parent_id if s.parent_id in ids else None
+            children.setdefault(pid, []).append(s)
+        lines: List[str] = []
+
+        def walk(pid: Optional[int], depth: int) -> None:
+            for s in children.get(pid, []):
+                if len(lines) >= max_spans:
+                    return
+                t1 = "open" if s.t1 is None else f"{s.t1:g}"
+                extras = " ".join(
+                    f"{k}={_jsonable(v)}" for k, v in sorted(s.attrs.items())
+                )
+                lines.append(
+                    "  " * depth
+                    + f"{s.name} [{s.t0:g}..{t1} {s.unit}]"
+                    + (f" {extras}" if extras else "")
+                )
+                walk(s.span_id, depth + 1)
+
+        walk(None, 0)
+        if len(self.spans) > max_spans:
+            lines.append(f"... ({len(self.spans) - max_spans} more spans)")
+        return "\n".join(lines)

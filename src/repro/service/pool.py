@@ -70,6 +70,9 @@ class PoolWorker:
         # one pattern, so keep the last FastMatcher built for this worker.
         self._fast: Optional[FastMatcher] = None
         self._fast_key: Optional[tuple] = None
+        # Gate-level twin for deep tracing (built lazily, same cache idea).
+        self._gate: Optional[object] = None
+        self._gate_key: Optional[tuple] = None
 
     # -- construction ------------------------------------------------------
 
@@ -135,7 +138,13 @@ class PoolWorker:
     # -- execution --------------------------------------------------------
 
     def run_match(
-        self, pattern: Sequence[PatternChar], text: Sequence[str]
+        self,
+        pattern: Sequence[PatternChar],
+        text: Sequence[str],
+        obs=None,
+        parent=None,
+        t0: float = 0.0,
+        t1: float = 0.0,
     ) -> List[bool]:
         """Execute one match on this worker's engine.
 
@@ -145,6 +154,14 @@ class PoolWorker:
         whether the job *fits* or needs the Section 3.4 multipass scheme
         only affects the beat and bus accounting in
         :meth:`service_beats` / :meth:`transfer_chars`.
+
+        With an :class:`~repro.obs.Observability` bundle this records a
+        ``worker.match`` span (``t0``/``t1`` are the execution's service
+        beats, ``parent`` its job span) and, when ``obs.deep`` is set,
+        re-drives the execution through the beat-accurate array -- and,
+        when ``obs.trace_circuit`` allows, the transistor-level netlist --
+        purely for observation: the returned results are ALWAYS the fast
+        path's.
         """
         if not self.is_live or self.backend is None:
             raise ServiceError(f"worker {self.name!r} is dead")
@@ -154,7 +171,58 @@ class PoolWorker:
             fast = FastMatcher(list(key), self.alphabet)
             self._fast = fast
             self._fast_key = key
-        return fast.match(text)
+        results = fast.match(text)
+        if obs is not None:
+            span = obs.tracer.record(
+                "worker.match", t0=t0, t1=t1, unit="beats", parent=parent,
+                worker=self.name, chars=len(text), pattern_len=len(key),
+                engine="fastpath",
+            )
+            obs.registry.counter("worker.matches", worker=self.name).inc()
+            obs.registry.counter("worker.chars", worker=self.name).inc(len(text))
+            if obs.deep:
+                self._deep_trace(obs, span, key, text, results)
+        return results
+
+    def _deep_trace(self, obs, span, key, text, results) -> None:
+        """Re-drive the execution through slower models under the tracer.
+
+        Observation only -- agreement is recorded as span attributes, the
+        service's results are untouched.
+        """
+        backend = self.backend
+        if (
+            isinstance(backend, PatternMatchingChip)
+            and 0 < len(key) <= self.capacity
+        ):
+            backend.load_pattern(list(key))
+            backend.attach_obs(obs)
+            try:
+                with obs.tracer.nest(span):
+                    rep = backend.report(text)
+                span.attrs["array_agrees"] = rep.results == results
+                span.attrs["array_beats"] = rep.beats
+            finally:
+                backend.attach_obs(None)
+        if (
+            obs.trace_circuit
+            and 0 < len(text) <= obs.circuit_char_limit
+            and 0 < len(key)
+        ):
+            from ..circuit.chipnet import GateLevelMatcher
+
+            if self._gate is None or self._gate_key != key:
+                self._gate = GateLevelMatcher(
+                    list(key), self.alphabet, n_cells=len(key)
+                )
+                self._gate_key = key
+            self._gate.attach_obs(obs)
+            try:
+                with obs.tracer.nest(span):
+                    gate_results = self._gate.match(text)
+                span.attrs["circuit_agrees"] = gate_results == results
+            finally:
+                self._gate.attach_obs(None)
 
     # -- beat accounting --------------------------------------------------
 

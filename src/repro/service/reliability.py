@@ -74,12 +74,24 @@ class FaultInjector:
         self.p_stuck = p_stuck
         self.stuck_beats = stuck_beats
         self._rng = random.Random(seed)
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle; injected faults count
+        into ``faults.injected`` labelled by kind."""
+        self.obs = obs
+
+    def _count(self, kind: FaultKind) -> None:
+        if self.obs is not None:
+            self.obs.registry.counter("faults.injected", kind=kind.value).inc()
 
     def sample(self) -> Optional[Fault]:
         r = self._rng.random()
         if r < self.p_death:
+            self._count(FaultKind.WORKER_DEATH)
             return Fault(FaultKind.WORKER_DEATH, at_fraction=self._rng.random())
         if r < self.p_death + self.p_stuck:
+            self._count(FaultKind.STUCK_BEATS)
             return Fault(
                 FaultKind.STUCK_BEATS,
                 extra_beats=self._rng.randint(*self.stuck_beats),

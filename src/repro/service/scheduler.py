@@ -183,7 +183,8 @@ class SharedBus:
     one chip can outrun a 1979 memory, and a farm certainly does.
     """
 
-    def __init__(self, host: Optional[HostSpec] = None, beat_ns: float = 250.0):
+    def __init__(self, host: Optional[HostSpec] = None, beat_ns: float = 250.0,
+                 obs=None):
         if beat_ns <= 0:
             raise ServiceError("beat time must be positive")
         self.host = host or HostSpec()
@@ -193,6 +194,22 @@ class SharedBus:
         self.free_at: float = 0.0
         self.busy_beats: float = 0.0
         self.chars_moved: int = 0
+        self.obs = None
+        self._m_reservations = None
+        self._h_wait = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Attach/detach an Observability bundle: each reservation counts
+        into ``bus.reservations`` and its queueing delay (beats spent
+        waiting for the bus to free up) observes into ``bus.wait_beats``."""
+        self.obs = obs
+        if obs is None:
+            self._m_reservations = self._h_wait = None
+            return
+        self._m_reservations = obs.registry.counter("bus.reservations")
+        self._h_wait = obs.registry.histogram("bus.wait_beats")
 
     def reserve(self, n_chars: int, now: float) -> float:
         """Claim bus time for *n_chars* starting no earlier than *now*;
@@ -204,6 +221,9 @@ class SharedBus:
         self.free_at = start + duration
         self.busy_beats += duration
         self.chars_moved += n_chars
+        if self._m_reservations is not None:
+            self._m_reservations.inc()
+            self._h_wait.observe(start - now)
         return self.free_at
 
     def utilization(self, makespan_beats: float) -> float:

@@ -46,6 +46,7 @@ class MatchJob:
     text: List[str]
     submitted_beat: float
     attempts: int = 0  # failed executions so far (drives the retry policy)
+    span: Optional[object] = None  # open service.job span (obs attached)
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,7 @@ class MatcherService:
         config: Optional[SchedulerConfig] = None,
         host: Optional[HostSpec] = None,
         faults: Optional[FaultInjector] = None,
+        obs=None,
     ):
         self.pool = pool
         self.config = config or SchedulerConfig()
@@ -129,8 +131,13 @@ class MatcherService:
         self.beat_ns = pool.workers[0].beat_ns
         self.clock = BeatClock()
         self.queues = JobQueues(self.config)
-        self.bus = SharedBus(self.host, self.beat_ns)
-        self.telemetry = ServiceTelemetry()
+        self.obs = obs
+        self.bus = SharedBus(self.host, self.beat_ns, obs=obs)
+        self.telemetry = ServiceTelemetry(
+            registry=obs.registry if obs is not None else None
+        )
+        if obs is not None:
+            self.faults.attach_obs(obs)
         self._next_id = 0
         self._seq = 0
         self._inflight: List[Tuple[float, int, _Execution]] = []
@@ -168,18 +175,38 @@ class MatcherService:
         )
         self._next_id += 1
         self.telemetry.submitted += 1
+        if self.obs is not None:
+            # Jobs overlap in simulated time, so their spans cannot nest on
+            # the tracer stack: open/close explicitly, keyed off the job.
+            job.span = self.obs.tracer.open_span(
+                "service.job", t0=self.clock.now, unit="beats",
+                job_id=job.job_id, tenant=tenant, priority=priority.name,
+            )
         if not chars:
             self._complete_empty(job)
             return job.job_id
         try:
             self.queues.put(priority, tenant, job)
+            self._note_queue_depth(priority)
         except BackpressureError:
             self.telemetry.backpressure_hits += 1
             if not self.config.degrade_when_saturated:
                 self.telemetry.submitted -= 1
+                if job.span is not None:
+                    self.obs.tracer.close(
+                        job.span, t1=self.clock.now, rejected=True
+                    )
                 raise
             self._complete_software(job)
         return job.job_id
+
+    def _note_queue_depth(self, priority: Priority) -> None:
+        if self.obs is not None:
+            self.obs.tracer.event(
+                "queue.depth", t=self.clock.now, unit="beats",
+                priority=priority.name,
+                depth=self.queues.depth(priority),
+            )
 
     def submit_many(
         self,
@@ -261,6 +288,7 @@ class MatcherService:
         return max(idle, key=lambda w: (w.capacity, w.name))
 
     def _start_job(self, job: MatchJob) -> None:
+        self._note_queue_depth(job.priority)
         idle = self.pool.idle_workers()
         plen, tlen = len(job.pattern), len(job.text)
         fitting = sorted(
@@ -273,6 +301,7 @@ class MatcherService:
                 len(fitting),
                 self.config.max_shards,
                 self.config.min_shard_chars,
+                obs=self.obs,
             )
             if plan.mode is ShardMode.TEXT_SHARDED:
                 state = _JobState(
@@ -322,8 +351,18 @@ class MatcherService:
         job = state.job
         stats = self.telemetry.worker_stats(worker.name, worker.capacity)
         stats.executions += 1
-        stats.busy_beats += execution.finish_beat - execution.start_beat
+        stats.record_busy(execution.start_beat, execution.finish_beat)
         fault = execution.fault
+        exec_span = None
+        if self.obs is not None:
+            exec_span = self.obs.tracer.record(
+                "service.execution",
+                t0=execution.start_beat, t1=execution.finish_beat,
+                unit="beats", parent=job.span,
+                worker=worker.name, shard=shard.index,
+                attempt=job.attempts,
+                fault=fault.kind.value if fault is not None else None,
+            )
         if fault is not None and fault.kind is FaultKind.WORKER_DEATH:
             worker.state = WorkerState.DEAD
             stats.died = True
@@ -340,7 +379,10 @@ class MatcherService:
             stats.stuck_events += 1
             self.telemetry.stuck_events += 1
         feed = shard.feed(job.text)
-        results = worker.run_match(job.pattern, feed)
+        results = worker.run_match(
+            job.pattern, feed, obs=self.obs, parent=exec_span,
+            t0=execution.start_beat, t1=execution.finish_beat,
+        )
         state.shard_results[shard.index] = results
         state.shard_finish[shard.index] = execution.finish_beat
         state.service_beats += execution.finish_beat - execution.start_beat
@@ -357,6 +399,12 @@ class MatcherService:
         results = self.fallback.match(job.pattern, feed)
         beats = self.fallback.beats(len(job.pattern), len(feed), self.beat_ns)
         finish = self.clock.now + beats
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "service.software_fallback", t0=self.clock.now, t1=finish,
+                unit="beats", parent=job.span,
+                shard=shard.index, chars=len(feed),
+            )
         state.shard_results[shard.index] = results
         state.shard_finish[shard.index] = finish
         state.service_beats += beats
@@ -392,7 +440,8 @@ class MatcherService:
                 workers=tuple(state.workers_used),
                 attempts=job.attempts,
                 via_fallback=state.via_fallback,
-            )
+            ),
+            job,
         )
 
     def _complete_empty(self, job: MatchJob) -> None:
@@ -412,7 +461,8 @@ class MatcherService:
                 workers=(),
                 attempts=0,
                 via_fallback=False,
-            )
+            ),
+            job,
         )
 
     def _complete_software(self, job: MatchJob) -> None:
@@ -423,6 +473,11 @@ class MatcherService:
         )
         now = self.clock.now
         self.telemetry.fallbacks += 1
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "service.software_fallback", t0=now, t1=now + beats,
+                unit="beats", parent=job.span, chars=len(job.text),
+            )
         self._record(
             JobResult(
                 job_id=job.job_id,
@@ -438,7 +493,8 @@ class MatcherService:
                 workers=(),
                 attempts=job.attempts,
                 via_fallback=True,
-            )
+            ),
+            job,
         )
 
     def _degrade_remaining(self) -> None:
@@ -455,13 +511,22 @@ class MatcherService:
 
     # -- accounting --------------------------------------------------------
 
-    def _record(self, result: JobResult) -> None:
+    def _record(self, result: JobResult, job: MatchJob) -> None:
         self._completed[result.job_id] = result
         self.telemetry.completed += 1
         self.telemetry.text_chars_served += len(result.results)
         self.telemetry.record_job(
             result.priority, result.wait_beats, result.service_beats
         )
+        if job.span is not None:
+            self.obs.tracer.close(
+                job.span, t1=result.finished_beat,
+                mode=result.mode, workers=list(result.workers),
+                attempts=result.attempts, via_fallback=result.via_fallback,
+                wait_beats=result.wait_beats,
+                service_beats=result.service_beats,
+            )
+            job.span = None
 
     def _sync_telemetry(self) -> None:
         t = self.telemetry

@@ -78,16 +78,32 @@ def plan_shards(
     n_workers: int,
     max_shards: int = 4,
     min_shard_chars: int = 64,
+    obs=None,
 ) -> ShardPlan:
     """Cut ``[0, text_len)`` into at most ``min(n_workers, max_shards)``
     overlapping shards; falls back to one shard when the text is too
-    short to be worth splitting."""
+    short to be worth splitting.  An :class:`~repro.obs.Observability`
+    bundle counts every decision into ``service.shard_plans`` by mode."""
     if pattern_len <= 0:
         raise ServiceError("pattern length must be positive")
     if text_len < 0:
         raise ServiceError("text length cannot be negative")
     if n_workers <= 0:
         raise ServiceError("need at least one worker to plan")
+    plan = _plan_shards(pattern_len, text_len, n_workers, max_shards,
+                        min_shard_chars)
+    if obs is not None:
+        obs.registry.counter("service.shard_plans", mode=plan.mode.value).inc()
+    return plan
+
+
+def _plan_shards(
+    pattern_len: int,
+    text_len: int,
+    n_workers: int,
+    max_shards: int,
+    min_shard_chars: int,
+) -> ShardPlan:
     k = pattern_len - 1
     whole = ShardPlan(ShardMode.DIRECT, [TextShard(0, 0, text_len - 1, 0)])
     if text_len == 0:

@@ -2,44 +2,151 @@
 
 Everything the scheduler knows about its own behaviour -- queue depth
 high-water marks, wait and service beats by priority class, per-worker
-utilization, retries, deaths, fallbacks, bus occupancy -- accumulated as
-plain counters and rendered through the same
-:class:`repro.analysis.report.Table` the paper-figure benches use.
+utilization, retries, deaths, fallbacks, bus occupancy -- published into
+a :class:`~repro.obs.metrics.MetricsRegistry` under stable dotted names
+(``service.worker.busy_beats{worker=...}`` and friends) and rendered
+through the same :class:`repro.analysis.report.Table` the paper-figure
+benches use.
+
+The attribute API predating the registry (``telemetry.submitted``,
+``worker.busy_beats``...) is preserved as thin property views over the
+registered metrics, so existing callers and tests read the same numbers
+the trace tooling exports.
+
+Worker busy time is accounted through :meth:`WorkerStats.record_busy`,
+which clips overlapping intervals against a per-worker high-water mark:
+however executions land (including a death being charged while the
+retry is already being reassigned), one worker can never accumulate
+more busy beats than wall-clock, so utilization stays <= 1.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Optional
 
-from ..analysis.report import Table
+from ..analysis.report import Table, kv_table
+from ..obs.metrics import MetricsRegistry
 from .scheduler import Priority
 
 
-@dataclass
 class WorkerStats:
-    """Lifetime counters for one pool worker."""
+    """Lifetime counters for one pool worker (a registry view)."""
 
-    name: str
-    capacity: int
-    executions: int = 0
-    busy_beats: float = 0.0
-    stuck_events: int = 0
-    died: bool = False
+    __slots__ = (
+        "name", "capacity", "_executions", "_busy", "_stuck", "_died",
+        "_busy_until",
+    )
+
+    def __init__(self, registry: MetricsRegistry, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        self._executions = registry.counter(
+            "service.worker.executions", worker=name
+        )
+        self._busy = registry.counter("service.worker.busy_beats", worker=name)
+        self._stuck = registry.counter(
+            "service.worker.stuck_events", worker=name
+        )
+        self._died = registry.gauge("service.worker.died", worker=name)
+        # High-water mark of accounted busy time: record_busy clips
+        # against it so overlapping executions count once.
+        self._busy_until = 0.0
+
+    # -- the pre-registry attribute API (thin views) ----------------------
+
+    @property
+    def executions(self) -> int:
+        return int(self._executions.value)
+
+    @executions.setter
+    def executions(self, v: int) -> None:
+        self._executions.value = float(v)
+
+    @property
+    def busy_beats(self) -> float:
+        return self._busy.value
+
+    @busy_beats.setter
+    def busy_beats(self, v: float) -> None:
+        self._busy.value = float(v)
+
+    @property
+    def stuck_events(self) -> int:
+        return int(self._stuck.value)
+
+    @stuck_events.setter
+    def stuck_events(self, v: int) -> None:
+        self._stuck.value = float(v)
+
+    @property
+    def died(self) -> bool:
+        return bool(self._died.value)
+
+    @died.setter
+    def died(self, v: bool) -> None:
+        self._died.set(1.0 if v else 0.0)
+
+    # -- accounting --------------------------------------------------------
+
+    def record_busy(self, start_beat: float, finish_beat: float) -> float:
+        """Charge one execution's interval, clipped against time already
+        accounted to this worker; returns the beats actually charged."""
+        start = max(start_beat, self._busy_until)
+        charged = max(0.0, finish_beat - start)
+        if charged > 0:
+            self._busy.inc(charged)
+        if finish_beat > self._busy_until:
+            self._busy_until = finish_beat
+        return charged
 
     def utilization(self, makespan_beats: float) -> float:
         if makespan_beats <= 0:
             return 0.0
         return min(1.0, self.busy_beats / makespan_beats)
 
+    def __repr__(self) -> str:
+        return (
+            f"WorkerStats({self.name!r}, executions={self.executions}, "
+            f"busy_beats={self.busy_beats})"
+        )
 
-@dataclass
+
 class ClassStats:
-    """Latency accounting for one priority class."""
+    """Latency accounting for one priority class (a registry view)."""
 
-    jobs: int = 0
-    total_wait_beats: float = 0.0
-    total_service_beats: float = 0.0
+    __slots__ = ("_jobs", "_wait", "_service")
+
+    def __init__(self, registry: MetricsRegistry, priority: Priority):
+        cls = priority.name
+        self._jobs = registry.counter("service.class.jobs", cls=cls)
+        self._wait = registry.counter("service.class.wait_beats", cls=cls)
+        self._service = registry.counter(
+            "service.class.service_beats", cls=cls
+        )
+
+    @property
+    def jobs(self) -> int:
+        return int(self._jobs.value)
+
+    @jobs.setter
+    def jobs(self, v: int) -> None:
+        self._jobs.value = float(v)
+
+    @property
+    def total_wait_beats(self) -> float:
+        return self._wait.value
+
+    @total_wait_beats.setter
+    def total_wait_beats(self, v: float) -> None:
+        self._wait.value = float(v)
+
+    @property
+    def total_service_beats(self) -> float:
+        return self._service.value
+
+    @total_service_beats.setter
+    def total_service_beats(self, v: float) -> None:
+        self._service.value = float(v)
 
     @property
     def mean_wait_beats(self) -> float:
@@ -50,41 +157,97 @@ class ClassStats:
         return self.total_service_beats / self.jobs if self.jobs else 0.0
 
 
-@dataclass
-class ServiceTelemetry:
-    """The farm's aggregate counters."""
+class _Scalar:
+    """Descriptor exposing one registry metric as a plain attribute."""
 
-    submitted: int = 0
-    completed: int = 0
-    retries: int = 0
-    deaths: int = 0
-    stuck_events: int = 0
-    fallbacks: int = 0
-    backpressure_hits: int = 0
-    text_chars_served: int = 0
-    bus_busy_beats: float = 0.0
-    bus_chars_moved: int = 0
-    makespan_beats: float = 0.0
-    queue_high_water: Dict[Priority, int] = field(default_factory=dict)
-    by_class: Dict[Priority, ClassStats] = field(
-        default_factory=lambda: {p: ClassStats() for p in Priority}
-    )
-    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+    __slots__ = ("attr", "cast")
+
+    def __init__(self, attr: str, cast=float):
+        self.attr = attr
+        self.cast = cast
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self.cast(getattr(obj, self.attr).value)
+
+    def __set__(self, obj, value) -> None:
+        getattr(obj, self.attr).value = float(value)
+
+
+class ServiceTelemetry:
+    """The farm's aggregate counters, backed by one metrics registry.
+
+    Construct with the registry of the run's
+    :class:`~repro.obs.Observability` to fold farm telemetry into the
+    unified trace; standalone construction gets a private registry and
+    behaves exactly like the pre-registry dataclass.
+    """
+
+    submitted = _Scalar("_submitted", int)
+    completed = _Scalar("_completed", int)
+    retries = _Scalar("_retries", int)
+    deaths = _Scalar("_deaths", int)
+    stuck_events = _Scalar("_stuck", int)
+    fallbacks = _Scalar("_fallbacks", int)
+    backpressure_hits = _Scalar("_backpressure", int)
+    text_chars_served = _Scalar("_chars", int)
+    bus_busy_beats = _Scalar("_bus_busy", float)
+    bus_chars_moved = _Scalar("_bus_chars", int)
+    makespan_beats = _Scalar("_makespan", float)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter("service.jobs.submitted")
+        self._completed = r.counter("service.jobs.completed")
+        self._retries = r.counter("service.retries")
+        self._deaths = r.counter("service.worker_deaths")
+        self._stuck = r.counter("service.stuck_events")
+        self._fallbacks = r.counter("service.fallbacks")
+        self._backpressure = r.counter("service.backpressure_hits")
+        self._chars = r.counter("service.text_chars_served")
+        self._bus_busy = r.gauge("service.bus.busy_beats")
+        self._bus_chars = r.gauge("service.bus.chars_moved")
+        self._makespan = r.gauge("service.makespan_beats")
+        self._wait_hist = r.histogram("service.job.wait_beats")
+        self._service_hist = r.histogram("service.job.service_beats")
+        self._queue_high_water: Dict[Priority, int] = {}
+        self.by_class: Dict[Priority, ClassStats] = {
+            p: ClassStats(r, p) for p in Priority
+        }
+        self.workers: Dict[str, WorkerStats] = {}
 
     # -- accumulation hooks (called by the service) -----------------------
 
+    @property
+    def queue_high_water(self) -> Dict[Priority, int]:
+        return self._queue_high_water
+
+    @queue_high_water.setter
+    def queue_high_water(self, value: Dict[Priority, int]) -> None:
+        self._queue_high_water = dict(value)
+        for p, depth in self._queue_high_water.items():
+            self.registry.gauge(
+                "service.queue.high_water", priority=p.name
+            ).set(depth)
+
     def worker_stats(self, name: str, capacity: int) -> WorkerStats:
         if name not in self.workers:
-            self.workers[name] = WorkerStats(name=name, capacity=capacity)
+            self.workers[name] = WorkerStats(self.registry, name, capacity)
         return self.workers[name]
 
     def record_job(
         self, priority: Priority, wait_beats: float, service_beats: float
     ) -> None:
-        cls = self.by_class.setdefault(priority, ClassStats())
+        cls = self.by_class.get(priority)
+        if cls is None:
+            cls = self.by_class[priority] = ClassStats(self.registry, priority)
         cls.jobs += 1
         cls.total_wait_beats += wait_beats
         cls.total_service_beats += service_beats
+        self._wait_hist.observe(wait_beats)
+        self._service_hist.observe(service_beats)
 
     # -- derived ----------------------------------------------------------
 
@@ -103,20 +266,21 @@ class ServiceTelemetry:
 
     def render(self) -> str:
         """A bench-style report: farm summary, class latencies, workers."""
-        summary = Table(["metric", "value"], title="matcher farm")
-        for name, value in [
-            ("jobs submitted", self.submitted),
-            ("jobs completed", self.completed),
-            ("retries", self.retries),
-            ("worker deaths", self.deaths),
-            ("stuck-beat events", self.stuck_events),
-            ("software fallbacks", self.fallbacks),
-            ("backpressure hits", self.backpressure_hits),
-            ("text chars served", self.text_chars_served),
-            ("makespan beats", self.makespan_beats),
-            ("bus utilization", self.bus_utilization()),
-        ]:
-            summary.row([name, value])
+        summary = kv_table(
+            "matcher farm",
+            {
+                "jobs submitted": self.submitted,
+                "jobs completed": self.completed,
+                "retries": self.retries,
+                "worker deaths": self.deaths,
+                "stuck-beat events": self.stuck_events,
+                "software fallbacks": self.fallbacks,
+                "backpressure hits": self.backpressure_hits,
+                "text chars served": self.text_chars_served,
+                "makespan beats": self.makespan_beats,
+                "bus utilization": self.bus_utilization(),
+            },
+        )
 
         classes = Table(
             ["class", "jobs", "mean wait beats", "mean service beats",

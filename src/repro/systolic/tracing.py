@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..errors import SimulationError
 from .cell import BUBBLE, is_bubble
 
 
@@ -52,8 +53,20 @@ class TraceRecorder:
         if self.max_beats is not None and len(self.beats) > self.max_beats:
             del self.beats[0]
 
+    def _check_channel(self, channel: str) -> None:
+        if self.beats and channel not in self.beats[0].slots:
+            raise SimulationError(
+                f"recorder has no channel {channel!r}; recorded channels "
+                f"are {sorted(self.beats[0].slots)}"
+            )
+
     def channel_history(self, channel: str) -> List[List[object]]:
-        """Per-beat register contents of one channel."""
+        """Per-beat register contents of one channel.
+
+        Raises :class:`~repro.errors.SimulationError` (with the recorded
+        channel names) when *channel* was never recorded.
+        """
+        self._check_channel(channel)
         return [list(bt.slots[channel]) for bt in self.beats]
 
     def activity_matrix(self) -> List[List[bool]]:
@@ -77,6 +90,8 @@ class TraceRecorder:
         For the matcher this lists exactly which pattern character met
         which string character where and when -- the content of Figure 3-2.
         """
+        self._check_channel(chan_a)
+        self._check_channel(chan_b)
         out = []
         for bt in self.beats:
             ra, rb = bt.slots[chan_a], bt.slots[chan_b]

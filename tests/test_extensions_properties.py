@@ -1,0 +1,205 @@
+"""Property-based differential tests for the Section 3.4 extensions.
+
+Each systolic machine is checked against a *self-contained* brute-force
+evaluation written from the mathematical definition (independent of the
+repo's own oracle helpers), over hypothesis-generated inputs -- and,
+crucially, over arrays **larger** than the pattern, where the extra
+cells must behave as transparent wildcard/identity stages.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_pattern
+from repro.extensions import (
+    systolic_convolution,
+    systolic_correlation,
+    systolic_fir,
+    systolic_inner_products,
+    systolic_match_counts,
+)
+
+from conftest import AB4, patterns, texts
+
+# Integer-valued floats: exact under IEEE addition/multiplication at
+# these magnitudes, so the differential checks can use equality-grade
+# approx without tolerance tuning.
+ints = st.integers(min_value=-8, max_value=8).map(float)
+extra_cells = st.integers(min_value=0, max_value=4)
+
+
+# -- brute-force definitions (independent of repro.core.reference) ---------
+
+def brute_convolution(kernel, signal):
+    """y_i = sum_j h_j * x_{i-j},  i = 0 .. N+L-2."""
+    if not signal:
+        return []
+    n = len(signal) + len(kernel) - 1
+    return [
+        sum(
+            kernel[j] * signal[i - j]
+            for j in range(len(kernel))
+            if 0 <= i - j < len(signal)
+        )
+        for i in range(n)
+    ]
+
+
+def brute_correlation(pattern, signal):
+    """Squared distance of each complete window; 0.0 before the first."""
+    k = len(pattern) - 1
+    return [
+        sum((signal[i - k + j] - pattern[j]) ** 2 for j in range(len(pattern)))
+        if i >= k else 0.0
+        for i in range(len(signal))
+    ]
+
+
+def brute_fir(taps, signal):
+    """Causal direct-form filter: one output per input sample."""
+    return [
+        sum(taps[j] * signal[i - j] for j in range(len(taps)) if i - j >= 0)
+        for i in range(len(signal))
+    ]
+
+
+def brute_counts(pattern, text):
+    """Matching positions per complete window (wildcards always match)."""
+    k = len(pattern) - 1
+    out = []
+    for i in range(len(text)):
+        if i < k:
+            out.append(0)
+            continue
+        out.append(
+            sum(
+                1
+                for j, pc in enumerate(pattern)
+                if pc.is_wild or pc.char == text[i - k + j]
+            )
+        )
+    return out
+
+
+class TestConvolutionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(kernel=st.lists(ints, min_size=1, max_size=4),
+           signal=st.lists(ints, min_size=0, max_size=12))
+    def test_matches_brute_force(self, kernel, signal):
+        assert systolic_convolution(kernel, signal) == pytest.approx(
+            brute_convolution(kernel, signal)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(kernel=st.lists(ints, min_size=1, max_size=3),
+           signal=st.lists(ints, min_size=1, max_size=10),
+           extra=extra_cells)
+    def test_oversized_array_is_equivalent(self, kernel, signal, extra):
+        # Convolution reverses the kernel internally, so the array size is
+        # the padded window; extra cells must not change the windows.
+        n_cells = 2 * len(kernel) - 1 + extra
+        assert systolic_convolution(kernel, signal, n_cells=n_cells) == \
+            pytest.approx(brute_convolution(kernel, signal))
+
+    @settings(max_examples=25, deadline=None)
+    @given(weights=st.lists(ints, min_size=1, max_size=4),
+           signal=st.lists(ints, min_size=0, max_size=12),
+           extra=extra_cells)
+    def test_inner_products_oversized(self, weights, signal, extra):
+        k = len(weights) - 1
+        want = [
+            sum(weights[j] * signal[i - k + j] for j in range(len(weights)))
+            if i >= k else 0.0
+            for i in range(len(signal))
+        ]
+        got = systolic_inner_products(
+            weights, signal, n_cells=len(weights) + extra
+        )
+        assert got == pytest.approx(want)
+
+
+class TestCorrelationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=st.lists(ints, min_size=1, max_size=4),
+           signal=st.lists(ints, min_size=0, max_size=12),
+           extra=extra_cells)
+    def test_matches_brute_force_any_array_size(self, pattern, signal, extra):
+        got = systolic_correlation(pattern, signal,
+                                   n_cells=len(pattern) + extra)
+        assert got == pytest.approx(brute_correlation(pattern, signal))
+
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=st.lists(ints, min_size=1, max_size=4),
+           signal=st.lists(ints, min_size=0, max_size=12))
+    def test_nonnegative_and_zero_iff_window_equal(self, pattern, signal):
+        out = systolic_correlation(pattern, signal)
+        k = len(pattern) - 1
+        for i, v in enumerate(out):
+            assert v >= 0.0
+            if i >= k:
+                window = signal[i - k:i + 1]
+                assert (v == 0.0) == (window == pattern)
+
+
+class TestFIRProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(taps=st.lists(ints, min_size=1, max_size=4),
+           signal=st.lists(ints, min_size=0, max_size=12))
+    def test_matches_brute_force(self, taps, signal):
+        assert systolic_fir(taps, signal) == pytest.approx(
+            brute_fir(taps, signal)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(taps=st.lists(ints, min_size=1, max_size=3),
+           signal=st.lists(ints, min_size=1, max_size=10),
+           extra=extra_cells)
+    def test_oversized_array_is_equivalent(self, taps, signal, extra):
+        got = systolic_fir(taps, signal, n_cells=len(taps) + extra)
+        assert got == pytest.approx(brute_fir(taps, signal))
+
+    @settings(max_examples=25, deadline=None)
+    @given(taps=st.lists(ints, min_size=1, max_size=4),
+           a=st.lists(ints, min_size=1, max_size=8),
+           b=st.lists(ints, min_size=1, max_size=8))
+    def test_linearity(self, taps, a, b):
+        # FIR is linear: filter(a + b) == filter(a) + filter(b), aligned
+        # over the common prefix.
+        n = min(len(a), len(b))
+        summed = systolic_fir(taps, [a[i] + b[i] for i in range(n)])
+        fa, fb = systolic_fir(taps, a[:n]), systolic_fir(taps, b[:n])
+        assert summed == pytest.approx([fa[i] + fb[i] for i in range(n)])
+
+
+class TestCountingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=patterns(max_len=5), text=texts(max_len=20),
+           extra=extra_cells)
+    def test_matches_brute_force_any_array_size(self, pattern, text, extra):
+        parsed = parse_pattern(pattern, AB4)
+        got = systolic_match_counts(pattern, text, AB4,
+                                    n_cells=len(parsed) + extra)
+        assert got == brute_counts(parsed, list(text))
+
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=patterns(max_len=5), text=texts(max_len=20))
+    def test_counts_bounded_by_pattern_length(self, pattern, text):
+        parsed = parse_pattern(pattern, AB4)
+        for v in systolic_match_counts(pattern, text, AB4):
+            assert 0 <= v <= len(parsed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=patterns(max_len=4, wildcards=False),
+           text=texts(max_len=16))
+    def test_full_count_iff_exact_match(self, pattern, text):
+        # Without wildcards a full count is exactly a string match.
+        parsed = parse_pattern(pattern, AB4)
+        counts = systolic_match_counts(pattern, text, AB4)
+        k = len(parsed) - 1
+        for i, c in enumerate(counts):
+            if i >= k:
+                assert (c == len(parsed)) == \
+                    (text[i - k:i + 1] == pattern)

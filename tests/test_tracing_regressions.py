@@ -1,0 +1,98 @@
+"""Regression tests for TraceRecorder trimming and error reporting.
+
+``max_beats`` drops old beats from the front; every derived view
+(``activity_matrix``, ``channel_history``, ``meetings``) must stay
+consistent with the *suffix* of an untrimmed recording of the same run.
+Unknown channels must fail with a :class:`~repro.errors.SimulationError`
+that lists what actually was recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_pattern
+from repro.core.array import SystolicMatcherArray
+from repro.errors import SimulationError
+from repro.streams import RecirculatingPattern
+from repro.systolic.tracing import TraceRecorder
+
+from conftest import AB4
+
+TEXT = "ABCABCDDABCA"
+
+
+def _run(recorder, pattern="ABC", n_cells=3, text=TEXT):
+    arr = SystolicMatcherArray(n_cells, recorder=recorder)
+    items = RecirculatingPattern(parse_pattern(pattern, AB4)).items
+    arr.run(items, text)
+    return recorder
+
+
+class TestTrimmingConsistency:
+    N = 7
+
+    @pytest.fixture()
+    def pair(self):
+        full = _run(TraceRecorder())
+        trimmed = _run(TraceRecorder(max_beats=self.N))
+        assert len(full.beats) > self.N  # the workload must overflow N
+        return full, trimmed
+
+    def test_trimmed_keeps_exact_suffix_of_beats(self, pair):
+        full, trimmed = pair
+        assert len(trimmed.beats) == self.N
+        assert [bt.beat for bt in trimmed.beats] == \
+            [bt.beat for bt in full.beats[-self.N:]]
+
+    def test_activity_matrix_is_suffix(self, pair):
+        full, trimmed = pair
+        assert trimmed.activity_matrix() == full.activity_matrix()[-self.N:]
+
+    @pytest.mark.parametrize("channel", ["p", "s", "r"])
+    def test_channel_history_is_suffix(self, pair, channel):
+        full, trimmed = pair
+        assert trimmed.channel_history(channel) == \
+            full.channel_history(channel)[-self.N:]
+
+    def test_meetings_are_meetings_since_first_kept_beat(self, pair):
+        full, trimmed = pair
+        first_kept = trimmed.beats[0].beat
+        want = [m for m in full.meetings("p", "s") if m[0] >= first_kept]
+        assert trimmed.meetings("p", "s") == want
+
+    def test_max_beats_larger_than_run_keeps_everything(self):
+        full = _run(TraceRecorder())
+        roomy = _run(TraceRecorder(max_beats=10_000))
+        assert len(roomy.beats) == len(full.beats)
+        assert roomy.activity_matrix() == full.activity_matrix()
+
+
+class TestUnknownChannelErrors:
+    @pytest.fixture()
+    def rec(self):
+        return _run(TraceRecorder())
+
+    def test_channel_history_unknown_lists_recorded(self, rec):
+        with pytest.raises(SimulationError) as exc:
+            rec.channel_history("zz")
+        msg = str(exc.value)
+        assert "'zz'" in msg
+        for ch in ("p", "s", "r"):
+            assert f"'{ch}'" in msg
+
+    def test_meetings_unknown_first_channel(self, rec):
+        with pytest.raises(SimulationError) as exc:
+            rec.meetings("nope", "s")
+        assert "'nope'" in str(exc.value)
+
+    def test_meetings_unknown_second_channel(self, rec):
+        with pytest.raises(SimulationError) as exc:
+            rec.meetings("p", "nope")
+        assert "'nope'" in str(exc.value)
+
+    def test_empty_recorder_views_do_not_raise(self):
+        rec = TraceRecorder()
+        assert rec.channel_history("anything") == []
+        assert rec.activity_matrix() == []
+        assert rec.meetings("a", "b") == []
