@@ -1,8 +1,8 @@
-"""Perf-regression harness for the hot paths (PR 2).
+"""Perf-regression harness for the hot paths.
 
 Times the layers the event-driven settle and the packed-word fast path
 accelerate, checks each against its slow reference bit for bit, and
-writes the numbers to ``BENCH_pr2.json`` so CI can diff runs:
+writes the numbers to ``BENCH_pr5.json`` so CI can diff runs:
 
 * ``circuit_settle`` -- the switch-level matcher (``GateLevelMatcher``)
   driven by the event engine vs :func:`repro.circuit.simulator.settle_reference`,
@@ -14,6 +14,11 @@ writes the numbers to ``BENCH_pr2.json`` so CI can diff runs:
   transistor-level netlist on the paper's example text.
 * ``service_throughput`` -- wall-clock drain rate of the matcher farm
   with batched submission, results equal to the oracle.
+* ``workload_kernels`` -- the packed/strided Section 3.4 kernels
+  (count, correlation, inner products, convolution, FIR) vs the stepwise
+  ``repro.extensions`` cell machines, values identical.
+* ``workload_service`` -- mixed kernel jobs drained through the farm via
+  ``submit(workload=...)``, every result equal to the workload oracle.
 
 Run::
 
@@ -190,6 +195,92 @@ def bench_service_throughput(quick: bool) -> Dict[str, object]:
     }
 
 
+def make_samples(n: int, span: int = 9) -> List[float]:
+    """Deterministic integer-valued float stream (exact float64 sums)."""
+    return [float(int(c, 16) % span - span // 2)
+            for c in make_text(n, "0123456789abcdef")]
+
+
+def bench_workload_kernels(quick: bool) -> Dict[str, object]:
+    """Packed/strided Section 3.4 kernels vs the stepwise cell machines."""
+    from repro.workloads import get_workload
+
+    n = 1_000 if quick else 4_000
+    text = make_text(n)
+    samples = make_samples(n)
+    taps = make_samples(8, span=7)
+    pattern = "ABXCABCA"
+
+    out: Dict[str, object] = {"samples": n, "window": len(taps)}
+    speedups = []
+    all_equal = True
+    for name in ("count", "correlation", "inner-product", "convolution",
+                 "fir"):
+        spec = get_workload(name)
+        params = pattern if name == "count" else taps
+        stream = text if name == "count" else samples
+        fast_s, fast_out = _timed(
+            lambda: spec.run(params, stream, AB4), 1 if quick else 3
+        )
+        step_s, step_out = _timed(
+            lambda: spec.run(params, stream, AB4, engine="stepwise")
+        )
+        equal = fast_out == step_out
+        all_equal = all_equal and equal
+        speedup = step_s / fast_s if fast_s > 0 else float("inf")
+        speedups.append(speedup)
+        out[name] = {
+            "fast_s": fast_s,
+            "stepwise_s": step_s,
+            "speedup": speedup,
+            "equal": equal,
+        }
+    out["min_speedup"] = min(speedups)
+    out["meets_target"] = min(speedups) >= 5.0
+    out["equivalent"] = all_equal
+    return out
+
+
+def bench_workload_service(quick: bool) -> Dict[str, object]:
+    """Mixed Section 3.4 kernel jobs drained through the farm."""
+    from repro.workloads import get_workload, list_workloads
+
+    n_jobs = 6 if quick else 30
+    doc = 500 if quick else 2_000
+    names = [w for w in list_workloads() if w != "match"]
+    taps = make_samples(5, span=7)
+    pattern = "ABXCA"
+    jobs = []
+    for i in range(n_jobs):
+        name = names[i % len(names)]
+        numeric = get_workload(name).numeric
+        jobs.append((
+            name,
+            taps if numeric else pattern,
+            make_samples(doc + i) if numeric else make_text(doc + i),
+        ))
+
+    svc = MatcherService(uniform_pool(8, ChipSpec(16, 2), AB4))
+    jids = [svc.submit(p, s, workload=name) for name, p, s in jobs]
+    wall_s, results = _timed(svc.drain)
+    by_id = {r.job_id: r for r in results}
+    ok = all(
+        by_id[jid].results
+        == get_workload(name).run(p, s, AB4, engine="oracle")
+        for jid, (name, p, s) in zip(jids, jobs)
+    )
+    values = sum(len(by_id[jid].results) for jid in jids)
+    return {
+        "jobs": n_jobs,
+        "samples_per_job": doc,
+        "wall_s": wall_s,
+        "jobs_per_s": n_jobs / wall_s if wall_s > 0 else float("inf"),
+        "values_per_s": values / wall_s if wall_s > 0 else float("inf"),
+        "workloads": sorted(set(name for name, _, _ in jobs)),
+        "equivalent": ok,
+    }
+
+
 def bench_obs_overhead(quick: bool, bound: float = 3.0) -> Dict[str, object]:
     """Observability cost on the two hot paths.
 
@@ -280,7 +371,7 @@ def main(argv: List[str] = None) -> int:
         help="small inputs for CI smoke runs (equivalence still checked)",
     )
     ap.add_argument(
-        "--out", default="BENCH_pr2.json", help="output JSON path"
+        "--out", default="BENCH_pr5.json", help="output JSON path"
     )
     ap.add_argument(
         "--obs-bound", type=float, default=3.0,
@@ -308,6 +399,8 @@ def main(argv: List[str] = None) -> int:
         ("char_matching", bench_char_matching),
         ("bit_gate_agreement", bench_bit_gate_agreement),
         ("service_throughput", bench_service_throughput),
+        ("workload_kernels", bench_workload_kernels),
+        ("workload_service", bench_workload_service),
         ("obs_overhead",
          lambda quick: bench_obs_overhead(quick, args.obs_bound)),
     ]

@@ -38,8 +38,10 @@ from .core import (
     match_oracle,
     multipass_match,
 )
+from .core.fastpath import FastCounter
 from .errors import ReproError
 from .obs import MetricsRegistry, Observability, Tracer
+from .workloads import WorkloadSpec, get_workload, list_workloads, run_workload
 
 __version__ = "1.0.0"
 
@@ -47,6 +49,7 @@ __all__ = [
     "ASCII_UPPER",
     "Alphabet",
     "BitLevelMatcher",
+    "FastCounter",
     "FastMatcher",
     "MatchReport",
     "MetricsRegistry",
@@ -58,10 +61,14 @@ __all__ = [
     "Tracer",
     "SystolicMatcherArray",
     "WILDCARD",
+    "WorkloadSpec",
     "count_oracle",
+    "get_workload",
+    "list_workloads",
     "match_oracle",
     "multipass_match",
     "parse_pattern",
     "pattern_to_string",
+    "run_workload",
     "__version__",
 ]

@@ -527,7 +527,8 @@ class _EventEngine:
                 if not changed and not extra:
                     self._prev_now = circuit.time_ns
                     return iteration + 1
-                changed = self._pass(changed, extra, pinned_ids, strict_decay)
+                changed = self._pass(changed, extra, pinned_ids, strict_decay,
+                                     first_pass=iteration == 0)
                 extra = ()
                 if not changed:
                     self._prev_now = circuit.time_ns
@@ -542,13 +543,21 @@ class _EventEngine:
             f"(oscillating or ill-formed circuit)"
         )
 
-    def _pass(self, changed_in, extra_in, pinned_ids, strict_decay) -> Set[int]:
+    def _pass(self, changed_in, extra_in, pinned_ids, strict_decay,
+              first_pass: bool = True) -> Set[int]:
         """One event pass over the components touching the dirty nodes.
 
         *changed_in* holds nodes whose value changed (their gate fanout is
         chased and their components re-keyed); *extra_in* holds externally
         perturbed nodes (component re-resolution only).  Returns the set
         of nodes whose value changed (the next worklist).
+
+        *first_pass* selects the driven->undriven backfill timestamp: the
+        reference engine refreshes every driven node on every iteration,
+        so a node released on iteration 1 keeps the *previous* settle's
+        stamp, while one released by a later-iteration cascade (a gate
+        flipping mid-settle) was still refreshed at ``now`` by the
+        iterations before the cascade reached it.
         """
         circuit = self.circuit
         nodes = self.node_objs
@@ -631,7 +640,7 @@ class _EventEngine:
         res: Dict[int, Tuple[LogicValue, Strength]] = {}
         changed: Set[int] = set()
         watch = self._watch
-        prev_now = self._prev_now
+        backfill = self._prev_now if first_pass else now
         for part in parts.values():
             base = part.base
             rails = part.rails
@@ -696,11 +705,13 @@ class _EventEngine:
                     if driven or pinned is not None:
                         node.last_refresh = now
                     elif was_driven and node.last_refresh != now:
-                        # Driven until this settle: the retention window
-                        # starts at the previous settle (the reference
-                        # engine refreshes driven nodes on every settle,
+                        # Driven until this pass: the retention window
+                        # starts at the previous settle when released on
+                        # the first pass, at this settle's `now` when a
+                        # later-pass cascade cut the drive (the reference
+                        # engine refreshes driven nodes every iteration,
                         # we only touch dirty ones).
-                        node.last_refresh = prev_now
+                        node.last_refresh = backfill
                     if strength_n <= _CHARGE and value_n is not UNKNOWN:
                         if i not in watch:
                             watch.add(i)
@@ -763,7 +774,7 @@ class _EventEngine:
                     if driven or pinned is not None:
                         node.last_refresh = now
                     elif was_driven and node.last_refresh != now:
-                        node.last_refresh = prev_now
+                        node.last_refresh = backfill
                     if strength_n <= _CHARGE and value_n is not UNKNOWN:
                         if i not in watch:
                             watch.add(i)

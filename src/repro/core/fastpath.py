@@ -1,4 +1,4 @@
-"""Packed-word fast path for character-level matching.
+"""Packed-word and strided fast paths for the systolic kernels.
 
 The systolic array computes, for every text position *i*, the AND-chain
 
@@ -26,6 +26,21 @@ alphabet widths.  :class:`~repro.core.matcher.PatternMatcher` routes plain
 ``match()`` calls here (beat-accurate runs and traces still use the
 stepwise array), which is what makes whole-corpus runs and the service
 farm measure scheduling rather than interpreter overhead.
+
+The same trick carries to the Section 3.4 extensions, all of which share
+the matcher's sliding-window shape:
+
+* :class:`FastCounter` packs one small per-position *counter* lane per
+  pattern position into a single Python integer (SIMD within a register)
+  and advances every lane per character, mirroring the shift-and loop --
+  the fast twin of the counting machine.
+* :func:`fast_inner_products` / :func:`fast_squared_distances` evaluate
+  the numeric kernels (correlation, convolution, FIR, inner products)
+  over numpy strided window views -- the fast twins of the correlation
+  machine and the linear-product semiring machines.
+
+Each fast kernel is differentially tested against the stepwise
+``repro.extensions`` cells in ``tests/test_workloads_kernels.py``.
 """
 
 from __future__ import annotations
@@ -34,7 +49,17 @@ from typing import Dict, List, Optional, Sequence
 
 from ..alphabet import Alphabet, PatternChar, parse_pattern, pattern_to_string
 
-__all__ = ["FastMatcher"]
+try:  # numpy is a declared dependency, but keep a pure-python fallback
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
+__all__ = [
+    "FastMatcher",
+    "FastCounter",
+    "fast_inner_products",
+    "fast_squared_distances",
+]
 
 
 class FastMatcher:
@@ -97,3 +122,146 @@ class FastMatcher:
         """Start positions of every matching substring."""
         k = len(self.pattern) - 1
         return [i - k for i, r in enumerate(self.match(text)) if r]
+
+
+class FastCounter:
+    """Packed-lane match counter, equivalent to the counting machine.
+
+    The Section 3.4 counting cell replaces the matcher's AND with an
+    accumulating add: result ``r_i`` is *how many* of the ``L`` window
+    positions match.  Here every pattern position gets a fixed-width
+    counter lane inside one Python integer.  A lane only ever holds a
+    partial match count, which is at most ``L``, so ``L.bit_length()``
+    bits per lane can never carry into a neighbour.  Each text character
+    shifts the whole lane vector up one lane (retiring the oldest window)
+    and adds a precomputed per-symbol increment vector::
+
+        state = ((state << F) & lanes_mask) + inc[ch]
+
+    after which the top lane holds the finished count for the window
+    ending at the current character.  Like :class:`FastMatcher`, one
+    arbitrary-width integer covers any pattern length, and wild cards
+    simply contribute to every symbol's increment vector.
+
+    >>> from repro.alphabet import Alphabet
+    >>> FastCounter("AB", Alphabet("AB")).counts("ABBB")
+    [0, 2, 1, 1]
+    """
+
+    def __init__(
+        self,
+        pattern,
+        alphabet: Alphabet,
+        wildcard_symbol: str = "X",
+    ):
+        self.alphabet = alphabet
+        if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
+            self.pattern: List[PatternChar] = list(pattern)
+        else:
+            self.pattern = parse_pattern(pattern, alphabet, wildcard_symbol)
+        L = len(self.pattern)
+        width = L.bit_length()  # max lane value is L -> never carries
+        wild_inc = 0
+        for j, pc in enumerate(self.pattern):
+            if pc.is_wild:
+                wild_inc |= 1 << (width * j)
+        inc: Dict[str, int] = {s: wild_inc for s in alphabet.symbols}
+        for j, pc in enumerate(self.pattern):
+            if not pc.is_wild:
+                inc[pc.char] |= 1 << (width * j)
+        self._inc = inc
+        self._width = width
+        self._lanes_mask = (1 << (width * L)) - 1
+        self._top_shift = width * (L - 1)
+        self._lane_mask = (1 << width) - 1
+
+    @property
+    def pattern_string(self) -> str:
+        return pattern_to_string(self.pattern)
+
+    @property
+    def pattern_length(self) -> int:
+        return len(self.pattern)
+
+    def counts(self, text: Sequence[str]) -> List[int]:
+        """One match count per text character; 0 before the first full
+        window (the convention of :func:`~repro.core.reference.count_oracle`)."""
+        inc = self._inc
+        width = self._width
+        lanes_mask = self._lanes_mask
+        top_shift = self._top_shift
+        k = len(self.pattern) - 1
+        out: List[int] = []
+        append = out.append
+        state = 0
+        ch = None
+        try:
+            for i, ch in enumerate(text):
+                state = ((state << width) & lanes_mask) + inc[ch]
+                append(state >> top_shift if i >= k else 0)
+        except KeyError:
+            self.alphabet.require(ch)
+            raise
+        return out
+
+
+def fast_inner_products(
+    weights: Sequence[float], stream: Sequence[float]
+) -> List[float]:
+    """Sliding-window inner products ``sum_j w_j * s_{i-k+j}``.
+
+    The numeric fast twin of the convolution/FIR/inner-product machines:
+    one value per stream position, ``0.0`` before the first complete
+    window (positions ``i < len(weights) - 1``).
+
+    >>> fast_inner_products([1.0, 2.0], [1.0, 1.0, 1.0])
+    [0.0, 3.0, 3.0]
+    """
+    L = len(weights)
+    if L == 0:
+        raise ValueError("weights must be non-empty")
+    n = len(stream)
+    k = L - 1
+    if n < L:
+        return [0.0] * n
+    if _np is not None:
+        windows = _np.lib.stride_tricks.sliding_window_view(
+            _np.asarray(stream, dtype=float), L
+        )
+        body = windows @ _np.asarray(weights, dtype=float)
+        return [0.0] * k + [float(v) for v in body]
+    return [0.0] * k + [  # pragma: no cover - stripped-install fallback
+        sum(weights[j] * stream[i - k + j] for j in range(L))
+        for i in range(k, n)
+    ]
+
+
+def fast_squared_distances(
+    taps: Sequence[float], stream: Sequence[float]
+) -> List[float]:
+    """Sliding-window squared distances ``sum_j (s_{i-k+j} - t_j)^2``.
+
+    The numeric fast twin of the Section 3.4 correlation machine
+    (:func:`~repro.core.reference.correlation_oracle` convention: ``0.0``
+    before the first complete window).
+
+    >>> fast_squared_distances([1.0, 3.0], [1.0, 3.0, 5.0])
+    [0.0, 0.0, 8.0]
+    """
+    L = len(taps)
+    if L == 0:
+        raise ValueError("taps must be non-empty")
+    n = len(stream)
+    k = L - 1
+    if n < L:
+        return [0.0] * n
+    if _np is not None:
+        windows = _np.lib.stride_tricks.sliding_window_view(
+            _np.asarray(stream, dtype=float), L
+        )
+        body = ((windows - _np.asarray(taps, dtype=float)) ** 2).sum(axis=1)
+        return [0.0] * k + [float(v) for v in body]
+    return [0.0] * k + [  # pragma: no cover - stripped-install fallback
+        sum((stream[i - k + j] - taps[j]) ** 2 for j in range(L))
+        for i in range(k, n)
+    ]

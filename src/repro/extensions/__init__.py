@@ -16,6 +16,16 @@ stream rightward, signal stream leftward, results leaving with the signal
 * :mod:`repro.extensions.linear_products` -- the Fischer-Paterson
   linear-product family as a generic cell algebra, of which all the
   machines above are instances.
+
+These are the *behavioral* cell-by-cell machines -- the executable spec.
+Their production twins live in :mod:`repro.core.fastpath` (packed/strided
+kernels, differentially tested against these cells) and are served at
+farm scale through ``MatcherService.submit(workload=...)`` via the
+:mod:`repro.workloads` registry:
+
+>>> from repro.workloads import run_workload
+>>> run_workload("correlation", [1.0, 3.0], [1.0, 3.0, 5.0])
+[0.0, 0.0, 8.0]
 """
 
 from .convolution import systolic_convolution, systolic_inner_products

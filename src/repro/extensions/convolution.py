@@ -15,6 +15,15 @@ so convolution is the inner product against the **reversed** kernel over
 the zero-padded signal.  Both entry points below run on the actual
 systolic array (via :class:`~repro.extensions.linear_products.LinearProductMachine`);
 results agree with ``numpy.convolve`` to floating-point accuracy.
+
+>>> systolic_inner_products([1.0, 2.0], [1.0, 1.0, 1.0])
+[0.0, 3.0, 3.0]
+>>> systolic_convolution([1.0, 2.0], [1.0, 1.0, 1.0])
+[1.0, 3.0, 3.0, 2.0]
+
+The fast twin is :func:`repro.core.fastpath.fast_inner_products`; the
+farm serves these as ``submit(workload="inner-product")`` and
+``submit(workload="convolution")``.
 """
 
 from __future__ import annotations

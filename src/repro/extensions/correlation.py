@@ -16,6 +16,16 @@ including the current term, consistent with the accumulator discipline):
 
     if lambda_in:  r_out <- t + d_in^2 ; t <- 0
     else:          r_out <- r_in ; t <- t + d_in^2
+
+Usage -- one squared distance per sample, 0.0 before the first full
+window, and a *small* value means a good match:
+
+>>> systolic_correlation([1.0, 3.0], [1.0, 3.0, 5.0])
+[0.0, 0.0, 8.0]
+
+The fast twin is :func:`repro.core.fastpath.fast_squared_distances`; the
+direct definition is :func:`repro.core.reference.correlation_oracle`; the
+farm serves this as ``submit(workload="correlation")``.
 """
 
 from __future__ import annotations

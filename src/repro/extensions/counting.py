@@ -13,6 +13,16 @@ the accumulator's ``r_out <- t; t <- ...`` discipline):
     t' = t + 1  if (x_in OR d_in)  else  t
     if lambda_in:  r_out <- t' ; t <- 0
     else:          r_out <- r_in ; t <- t'
+
+Usage -- one integer per text position, 0 before the first full window:
+
+>>> from repro.alphabet import Alphabet
+>>> systolic_match_counts("AB", "ABBB", Alphabet("AB"))
+[0, 2, 1, 1]
+
+The fast twin is :class:`repro.core.fastpath.FastCounter`; the direct
+definition is :func:`repro.core.reference.count_oracle`; the farm serves
+this as ``submit(workload="count")``.
 """
 
 from __future__ import annotations

@@ -9,6 +9,13 @@ reversed tap vector against the signal zero-padded with k leading samples,
 so the systolic array computes it directly -- the paper's point that the
 pattern matcher, the correlator and a digital filter are one machine with
 different cells.
+
+>>> systolic_fir([0.5, 0.5], [2.0, 4.0, 6.0])   # two-tap moving average
+[1.0, 3.0, 5.0]
+
+The farm serves this as ``submit(workload="fir")``; the prepared
+reversed-and-padded stream it runs is built by
+:mod:`repro.workloads.registry`.
 """
 
 from __future__ import annotations

@@ -14,7 +14,12 @@ used in shortest-path computations is (+, min).
 
 :class:`LinearProductMachine` runs *any* instance on the matcher's data
 flow, demonstrating the paper's claim that the data flow is the reusable
-design and the cell function the variation point.
+design and the cell function the variation point:
+
+>>> LinearProductMachine([1, 2], MIN_PLUS).run([4, 3, 0])
+[inf, 5, 2]
+
+(window [4, 3]: min(4+1, 3+2) = 5; window [3, 0]: min(3+1, 0+2) = 2.)
 """
 
 from __future__ import annotations

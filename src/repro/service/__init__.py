@@ -49,7 +49,14 @@ from .scheduler import (
     SharedBus,
 )
 from .service import JobResult, MatchJob, MatcherService
-from .sharding import ShardMode, ShardPlan, TextShard, merge_shard_results, plan_shards
+from .sharding import (
+    ShardMode,
+    ShardPlan,
+    TextShard,
+    merge_shard_results,
+    merge_shard_values,
+    plan_shards,
+)
 from .telemetry import ServiceTelemetry, WorkerStats
 
 __all__ = [
@@ -76,6 +83,7 @@ __all__ = [
     "WorkerState",
     "cascade_pool",
     "merge_shard_results",
+    "merge_shard_values",
     "plan_shards",
     "pool_from_wafers",
     "uniform_pool",

@@ -184,6 +184,47 @@ class PoolWorker:
                 self._deep_trace(obs, span, key, text, results)
         return results
 
+    def run_kernel(
+        self,
+        spec,
+        taps: Sequence,
+        stream: Sequence,
+        obs=None,
+        parent=None,
+        t0: float = 0.0,
+        t1: float = 0.0,
+    ) -> List:
+        """Execute one Section 3.4 kernel window pass on this worker.
+
+        *spec* is a :class:`~repro.workloads.WorkloadSpec`; *taps* are its
+        prepared taps and *stream* the (shard of the) prepared stream.
+        Like :meth:`run_match`, the values come from the packed/strided
+        fast kernel while multipass-vs-direct only affects the beat and
+        bus accounting.  With an :class:`~repro.obs.Observability` bundle
+        this records a ``worker.kernel`` span, and ``obs.deep`` re-checks
+        the window values against the workload's direct oracle (recorded
+        as ``oracle_agrees``; results are always the fast kernel's).
+        """
+        if not self.is_live or self.backend is None:
+            raise ServiceError(f"worker {self.name!r} is dead")
+        results = spec.fast(taps, stream, self.alphabet)
+        if obs is not None:
+            span = obs.tracer.record(
+                "worker.kernel", t0=t0, t1=t1, unit="beats", parent=parent,
+                worker=self.name, workload=spec.name, samples=len(stream),
+                window=len(taps), engine="fastpath",
+            )
+            obs.registry.counter(
+                "worker.kernels", worker=self.name, workload=spec.name
+            ).inc()
+            obs.registry.counter("worker.samples", worker=self.name).inc(
+                len(stream)
+            )
+            if obs.deep:
+                oracle = spec.oracle(taps, stream, self.alphabet)
+                span.attrs["oracle_agrees"] = oracle == results
+        return results
+
     def _deep_trace(self, obs, span, key, text, results) -> None:
         """Re-drive the execution through slower models under the tracer.
 

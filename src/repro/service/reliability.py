@@ -135,6 +135,17 @@ class SoftwareFallback:
             return []
         return shift_or_match(list(pattern), list(text))
 
+    def kernel(self, spec, taps: Sequence, stream: Sequence) -> List:
+        """Serve one Section 3.4 kernel shard from the host CPU.
+
+        Evaluates the workload's *direct oracle* definition -- the
+        behavioral ground truth -- so degraded kernel jobs keep the same
+        never-wrong guarantee as degraded match jobs.
+        """
+        if len(stream) == 0:
+            return []
+        return spec.oracle(taps, list(stream), None)
+
     def beats(self, pattern_len: int, text_len: int, beat_ns: float) -> int:
         """Software matching time, expressed in chip beats for apples-to-
         apples latency accounting."""

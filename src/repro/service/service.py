@@ -10,6 +10,16 @@ result is produced by a verified matching engine -- chip, cascade,
 multipass, or the software fallback -- so service output is bit-identical
 to :func:`repro.core.reference.match_oracle` no matter how the job was
 routed, retried, or sharded.
+
+Beyond matching, ``submit(workload=...)`` serves any kernel registered in
+:mod:`repro.workloads` -- match counting, correlation, convolution, FIR,
+sliding inner products (Section 3.4) -- through the *same* scheduler:
+windowed kernels shard across workers with halo overlap exactly like
+match jobs (one value per stream position, ``window - 1`` warm-up), and
+retry exhaustion degrades to the workload's behavioral oracle instead of
+the software matcher.  Whatever the routing, kernel results equal the
+direct oracle definition, property-tested under fault injection in
+``tests/test_workloads_service.py``.
 """
 
 from __future__ import annotations
@@ -30,23 +40,40 @@ from .sharding import (
     ShardPlan,
     TextShard,
     merge_shard_results,
+    merge_shard_values,
     plan_shards,
 )
 from .telemetry import ServiceTelemetry
+from ..workloads.registry import WorkloadSpec, get_workload
 
 
 @dataclass
 class MatchJob:
-    """One admitted match query."""
+    """One admitted query: a match by default, or any registered
+    Section 3.4 workload.
+
+    For kernel workloads ``taps`` holds the *prepared* tap vector,
+    ``text`` the prepared stream (padded for convolution/FIR), and
+    ``orig_len`` the validated input-stream length that ``spec.finalize``
+    maps windowed results back onto; ``pattern`` stays empty."""
 
     job_id: int
     tenant: str
     priority: Priority
     pattern: List[PatternChar]
-    text: List[str]
+    text: List
     submitted_beat: float
     attempts: int = 0  # failed executions so far (drives the retry policy)
     span: Optional[object] = None  # open service.job span (obs attached)
+    workload: str = "match"
+    taps: Optional[list] = None
+    orig_len: int = 0
+    spec: Optional[WorkloadSpec] = None
+
+    @property
+    def window_len(self) -> int:
+        """Cells the job needs: the sliding-window width (pattern or taps)."""
+        return len(self.taps) if self.taps is not None else len(self.pattern)
 
 
 @dataclass(frozen=True)
@@ -57,7 +84,7 @@ class JobResult:
     job_id: int
     tenant: str
     priority: Priority
-    results: List[bool]
+    results: List
     submitted_beat: float
     started_beat: float
     finished_beat: float
@@ -67,6 +94,7 @@ class JobResult:
     workers: Tuple[str, ...]
     attempts: int
     via_fallback: bool
+    workload: str = "match"
 
     @property
     def latency_beats(self) -> float:
@@ -80,7 +108,7 @@ class _JobState:
     job: MatchJob
     plan: ShardPlan
     pending: Dict[int, TextShard]
-    shard_results: Dict[int, List[bool]] = field(default_factory=dict)
+    shard_results: Dict[int, List] = field(default_factory=dict)
     shard_finish: Dict[int, float] = field(default_factory=dict)
     started_beat: Optional[float] = None
     service_beats: float = 0.0
@@ -152,27 +180,55 @@ class MatcherService:
     def submit(
         self,
         pattern,
-        text: Sequence[str],
+        text: Sequence,
         tenant: str = "default",
         priority: Priority = Priority.BATCH,
+        workload: str = "match",
     ) -> int:
         """Admit one query; returns its job id.
+
+        *pattern* is a match pattern for the default workload, or the
+        tap/pattern parameters of any workload registered in
+        :mod:`repro.workloads` (``"count"``, ``"correlation"``,
+        ``"convolution"``, ``"fir"``, ``"inner-product"``); *text* is the
+        character text or numeric sample stream accordingly.
 
         Raises :class:`BackpressureError` when the priority class's
         bounded queue is full and ``degrade_when_saturated`` is off;
         otherwise a saturated submission runs on the host CPU's software
-        matcher immediately (slower, never wrong).
+        matcher (or the workload's behavioral oracle) immediately
+        (slower, never wrong).
         """
-        parsed = self._parse(pattern)
-        chars = self.pool.alphabet.validate_text(text)
-        job = MatchJob(
-            job_id=self._next_id,
-            tenant=tenant,
-            priority=priority,
-            pattern=parsed,
-            text=chars,
-            submitted_beat=self.clock.now,
-        )
+        if workload == "match":
+            parsed = self._parse(pattern)
+            chars = self.pool.alphabet.validate_text(text)
+            job = MatchJob(
+                job_id=self._next_id,
+                tenant=tenant,
+                priority=priority,
+                pattern=parsed,
+                text=chars,
+                submitted_beat=self.clock.now,
+            )
+            empty = not chars
+        else:
+            spec = get_workload(workload)
+            taps = spec.parse_params(pattern, self.pool.alphabet)
+            validated = spec.validate_stream(text, self.pool.alphabet)
+            ktaps, feed = spec.prepare(taps, validated)
+            job = MatchJob(
+                job_id=self._next_id,
+                tenant=tenant,
+                priority=priority,
+                pattern=[],
+                text=feed,
+                submitted_beat=self.clock.now,
+                workload=workload,
+                taps=ktaps,
+                orig_len=len(validated),
+                spec=spec,
+            )
+            empty = not validated
         self._next_id += 1
         self.telemetry.submitted += 1
         if self.obs is not None:
@@ -181,8 +237,9 @@ class MatcherService:
             job.span = self.obs.tracer.open_span(
                 "service.job", t0=self.clock.now, unit="beats",
                 job_id=job.job_id, tenant=tenant, priority=priority.name,
+                workload=workload,
             )
-        if not chars:
+        if empty:
             self._complete_empty(job)
             return job.job_id
         try:
@@ -211,9 +268,10 @@ class MatcherService:
     def submit_many(
         self,
         pattern,
-        texts: Sequence[Sequence[str]],
+        texts: Sequence[Sequence],
         tenant: str = "default",
         priority: Priority = Priority.BATCH,
+        workload: str = "match",
     ) -> List[int]:
         """Admit one job per text in *texts*, parsing the pattern once.
 
@@ -222,9 +280,11 @@ class MatcherService:
         without re-parsing it per document.  Backpressure applies per
         job, exactly as with :meth:`submit`.
         """
-        parsed = self._parse(pattern)
+        if workload == "match":
+            pattern = self._parse(pattern)
         return [
-            self.submit(parsed, text, tenant=tenant, priority=priority)
+            self.submit(pattern, text, tenant=tenant, priority=priority,
+                        workload=workload)
             for text in texts
         ]
 
@@ -268,7 +328,7 @@ class MatcherService:
                 return
             if self._retry_ready:
                 state, shard = self._retry_ready.popleft()
-                worker = self._choose_worker(idle, len(state.job.pattern))
+                worker = self._choose_worker(idle, state.job.window_len)
                 self._launch(state, shard, worker)
                 continue
             job = self.queues.pop()
@@ -290,7 +350,7 @@ class MatcherService:
     def _start_job(self, job: MatchJob) -> None:
         self._note_queue_depth(job.priority)
         idle = self.pool.idle_workers()
-        plen, tlen = len(job.pattern), len(job.text)
+        plen, tlen = job.window_len, len(job.text)
         fitting = sorted(
             (w for w in idle if w.fits(plen)), key=lambda w: (w.capacity, w.name)
         )
@@ -323,7 +383,7 @@ class MatcherService:
         if state.started_beat is None:
             state.started_beat = now
         worker.state = WorkerState.BUSY
-        plen = len(state.job.pattern)
+        plen = state.job.window_len
         n_fed = shard.n_fed
         service = worker.service_beats(plen, n_fed)
         chars = worker.transfer_chars(plen, n_fed)
@@ -379,10 +439,16 @@ class MatcherService:
             stats.stuck_events += 1
             self.telemetry.stuck_events += 1
         feed = shard.feed(job.text)
-        results = worker.run_match(
-            job.pattern, feed, obs=self.obs, parent=exec_span,
-            t0=execution.start_beat, t1=execution.finish_beat,
-        )
+        if job.workload == "match":
+            results = worker.run_match(
+                job.pattern, feed, obs=self.obs, parent=exec_span,
+                t0=execution.start_beat, t1=execution.finish_beat,
+            )
+        else:
+            results = worker.run_kernel(
+                job.spec, job.taps, feed, obs=self.obs, parent=exec_span,
+                t0=execution.start_beat, t1=execution.finish_beat,
+            )
         state.shard_results[shard.index] = results
         state.shard_finish[shard.index] = execution.finish_beat
         state.service_beats += execution.finish_beat - execution.start_beat
@@ -396,8 +462,11 @@ class MatcherService:
         this shard with the software baseline."""
         job = state.job
         feed = shard.feed(job.text)
-        results = self.fallback.match(job.pattern, feed)
-        beats = self.fallback.beats(len(job.pattern), len(feed), self.beat_ns)
+        if job.workload == "match":
+            results = self.fallback.match(job.pattern, feed)
+        else:
+            results = self.fallback.kernel(job.spec, job.taps, feed)
+        beats = self.fallback.beats(job.window_len, len(feed), self.beat_ns)
         finish = self.clock.now + beats
         if self.obs is not None:
             self.obs.tracer.record(
@@ -418,9 +487,18 @@ class MatcherService:
         job, plan = state.job, state.plan
         if plan.mode is ShardMode.TEXT_SHARDED:
             ordered = [state.shard_results[s.index] for s in plan.shards]
-            results = merge_shard_results(plan.shards, ordered, len(job.text))
+            if job.workload == "match":
+                results = merge_shard_results(
+                    plan.shards, ordered, len(job.text)
+                )
+            else:
+                results = merge_shard_values(
+                    plan.shards, ordered, len(job.text), job.spec.incomplete
+                )
         else:
             results = state.shard_results[0]
+        if job.workload != "match":
+            results = job.spec.finalize(job.taps, job.orig_len, results)
         finished = max(state.shard_finish.values())
         started = state.started_beat if state.started_beat is not None else finished
         mode = "software" if state.via_fallback and not state.workers_used \
@@ -440,6 +518,7 @@ class MatcherService:
                 workers=tuple(state.workers_used),
                 attempts=job.attempts,
                 via_fallback=state.via_fallback,
+                workload=job.workload,
             ),
             job,
         )
@@ -461,15 +540,20 @@ class MatcherService:
                 workers=(),
                 attempts=0,
                 via_fallback=False,
+                workload=job.workload,
             ),
             job,
         )
 
     def _complete_software(self, job: MatchJob) -> None:
         """Saturation path: serve immediately from the host CPU."""
-        results = self.fallback.match(job.pattern, job.text)
+        if job.workload == "match":
+            results = self.fallback.match(job.pattern, job.text)
+        else:
+            merged = self.fallback.kernel(job.spec, job.taps, job.text)
+            results = job.spec.finalize(job.taps, job.orig_len, merged)
         beats = self.fallback.beats(
-            len(job.pattern), len(job.text), self.beat_ns
+            job.window_len, len(job.text), self.beat_ns
         )
         now = self.clock.now
         self.telemetry.fallbacks += 1
@@ -493,6 +577,7 @@ class MatcherService:
                 workers=(),
                 attempts=job.attempts,
                 via_fallback=True,
+                workload=job.workload,
             ),
             job,
         )
@@ -518,6 +603,7 @@ class MatcherService:
         self.telemetry.record_job(
             result.priority, result.wait_beats, result.service_beats
         )
+        self.telemetry.record_workload(result.workload, len(result.results))
         if job.span is not None:
             self.obs.tracer.close(
                 job.span, t1=result.finished_beat,

@@ -125,26 +125,30 @@ def _plan_shards(
     return ShardPlan(ShardMode.TEXT_SHARDED, shards)
 
 
-def merge_shard_results(
+def merge_shard_values(
     shards: Sequence[TextShard],
-    shard_results: Sequence[Sequence[bool]],
+    shard_results: Sequence[Sequence],
     text_len: int,
-) -> List[bool]:
-    """Reassemble per-shard result streams into the oracle stream.
+    incomplete=False,
+) -> List:
+    """Reassemble per-shard windowed result streams, any value type.
 
     Each shard's results are local to its fed slice; position ``j`` of
     shard *s* is global position ``s.feed_start + j``.  Only owned
     positions are kept; overlap-prefix results (incomplete windows from
-    the shard's local point of view are already False, and duplicated
-    positions belong to the left neighbour) are dropped.
+    the shard's local point of view, which report ``incomplete``, and
+    duplicated positions belonging to the left neighbour) are dropped.
+    This is what makes halo-overlap sharding workload-agnostic: every
+    Section 3.4 kernel produces one value per stream position with a
+    ``window - 1`` warm-up, so the same owned/overlap bookkeeping merges
+    match bits, match counts, and numeric windows alike.
     """
     if len(shards) != len(shard_results):
         raise ServiceError(
             f"{len(shards)} shards but {len(shard_results)} result streams"
         )
-    stream = ResultStream()
     filled = [False] * text_len
-    out = [False] * text_len
+    out = [incomplete] * text_len
     for shard, results in zip(shards, shard_results):
         if len(results) != shard.n_fed:
             raise ServiceError(
@@ -152,11 +156,24 @@ def merge_shard_results(
                 f"{len(results)} results"
             )
         for g in range(shard.out_lo, shard.out_hi + 1):
-            out[g] = bool(results[g - shard.feed_start])
+            out[g] = results[g - shard.feed_start]
             filled[g] = True
     if not all(filled):
         missing = filled.index(False)
         raise ServiceError(f"no shard owns text position {missing}")
-    for bit in out:
-        stream.record_result(bit)
+    return out
+
+
+def merge_shard_results(
+    shards: Sequence[TextShard],
+    shard_results: Sequence[Sequence[bool]],
+    text_len: int,
+) -> List[bool]:
+    """Boolean-matching specialization of :func:`merge_shard_values`,
+    funnelled through :class:`repro.streams.ResultStream` like the
+    hardware result pin."""
+    merged = merge_shard_values(shards, shard_results, text_len, False)
+    stream = ResultStream()
+    for bit in merged:
+        stream.record_result(bool(bit))
     return stream.results

@@ -217,6 +217,7 @@ class ServiceTelemetry:
             p: ClassStats(r, p) for p in Priority
         }
         self.workers: Dict[str, WorkerStats] = {}
+        self._by_workload: Dict[str, tuple] = {}
 
     # -- accumulation hooks (called by the service) -----------------------
 
@@ -248,6 +249,28 @@ class ServiceTelemetry:
         cls.total_service_beats += service_beats
         self._wait_hist.observe(wait_beats)
         self._service_hist.observe(service_beats)
+
+    def record_workload(self, workload: str, n_outputs: int) -> None:
+        """Count one completed job (and its output values) by workload."""
+        pair = self._by_workload.get(workload)
+        if pair is None:
+            pair = self._by_workload[workload] = (
+                self.registry.counter("service.jobs.by_workload",
+                                      workload=workload),
+                self.registry.counter("service.outputs.by_workload",
+                                      workload=workload),
+            )
+        jobs, outputs = pair
+        jobs.inc()
+        outputs.inc(n_outputs)
+
+    @property
+    def by_workload(self) -> Dict[str, Dict[str, int]]:
+        """``{workload: {"jobs": ..., "outputs": ...}}`` so far."""
+        return {
+            name: {"jobs": int(j.value), "outputs": int(o.value)}
+            for name, (j, o) in sorted(self._by_workload.items())
+        }
 
     # -- derived ----------------------------------------------------------
 
@@ -299,6 +322,15 @@ class ServiceTelemetry:
                 ]
             )
 
+        tables = [summary, classes]
+        if self._by_workload:
+            workloads = Table(
+                ["workload", "jobs", "output values"], title="workloads"
+            )
+            for name, stats in self.by_workload.items():
+                workloads.row([name, stats["jobs"], stats["outputs"]])
+            tables.append(workloads)
+
         workers = Table(
             ["worker", "cells", "executions", "busy beats", "utilization",
              "stuck", "state"],
@@ -317,4 +349,5 @@ class ServiceTelemetry:
                     "dead" if w.died else "alive",
                 ]
             )
-        return "\n\n".join(t.render() for t in (summary, classes, workers))
+        tables.append(workers)
+        return "\n\n".join(t.render() for t in tables)

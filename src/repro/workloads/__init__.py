@@ -1,0 +1,31 @@
+"""Section 3.4 workloads as first-class farm kernels.
+
+One systolic data flow, many cell functions: this package registers every
+workload the paper derives from the pattern matcher -- match counting,
+correlation (squared distance), sliding inner products, convolution and
+FIR filtering -- behind a uniform contract, so the same scheduling,
+sharding, fault-retry and telemetry machinery in :mod:`repro.service`
+serves all of them.
+
+>>> from repro.workloads import run_workload
+>>> run_workload("fir", [0.5, 0.5], [2.0, 4.0, 6.0])
+[1.0, 3.0, 5.0]
+"""
+
+from .registry import (
+    WORKLOADS,
+    WorkloadError,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    run_workload,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadError",
+    "WorkloadSpec",
+    "get_workload",
+    "list_workloads",
+    "run_workload",
+]

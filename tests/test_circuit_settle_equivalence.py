@@ -213,3 +213,29 @@ class TestStructuredScenarios:
         # as UNKNOWN (the event engine keeps its worklist across errors).
         settle(c)
         assert c.read("st") is UNKNOWN
+
+    def test_refresh_backfill_when_decay_cascade_cuts_drive(self):
+        """Regression (hypothesis seed 1195): a node driven through a
+        channel whose *gate* holds decayed charge loses its drive only on
+        the second settle iteration -- the decay must first turn the gate
+        UNKNOWN, and only then does the channel go MAYBE.  The reference
+        engine refreshed the node at `now` during the first iteration, so
+        the event engine's driven->undriven backfill must use `now`, not
+        the previous settle's time, when the release happens in a
+        later pass."""
+        c_evt, c_ref = self._pair(retention_ns=500.0)
+        for c in (c_evt, c_ref):
+            pass_transistor(c, "g", "src", "n")
+            c.set_input("src", HIGH)
+            c.set_input("g", HIGH)
+        settle_both(c_evt, c_ref, "drive n through g")
+        for c in (c_evt, c_ref):
+            c.release_input("g")  # g now holds charge; n still driven
+        settle_both(c_evt, c_ref, "g floats")
+        for c in (c_evt, c_ref):
+            c.advance_time(400.0)
+        settle_both(c_evt, c_ref, "inside retention")
+        for c in (c_evt, c_ref):
+            c.advance_time(400.0)  # g's charge decays; channel goes MAYBE
+        settle_both(c_evt, c_ref, "decay cascade releases n")
+        assert c_evt.nodes["n"].strength <= Strength.CHARGE
