@@ -2,7 +2,7 @@
 
 Times the layers the event-driven settle and the packed-word fast path
 accelerate, checks each against its slow reference bit for bit, and
-writes the numbers to ``BENCH_pr5.json`` so CI can diff runs:
+writes the numbers to ``BENCH_pr6.json`` so CI can diff runs:
 
 * ``circuit_settle`` -- the switch-level matcher (``GateLevelMatcher``)
   driven by the event engine vs :func:`repro.circuit.simulator.settle_reference`,
@@ -19,6 +19,11 @@ writes the numbers to ``BENCH_pr5.json`` so CI can diff runs:
   ``repro.extensions`` cell machines, values identical.
 * ``workload_service`` -- mixed kernel jobs drained through the farm via
   ``submit(workload=...)``, every result equal to the workload oracle.
+* ``runtime_scaling`` -- the concurrent runtime's load generator: the
+  same job burst through :class:`repro.runtime.AsyncMatcherService`
+  with 1 worker process vs N, real wall-clock speedup on multi-core
+  machines (recorded but not asserted on single-core boxes; pass
+  ``--require-scaling`` to make CI fail under 1.5x on >=2 cores).
 
 Run::
 
@@ -281,6 +286,70 @@ def bench_workload_service(quick: bool) -> Dict[str, object]:
     }
 
 
+def bench_runtime_scaling(quick: bool) -> Dict[str, object]:
+    """Multi-core scaling of the concurrent runtime (real processes).
+
+    Drives an identical burst of match jobs through
+    :class:`repro.runtime.AsyncMatcherService` twice -- one worker
+    process, then N -- and reports the wall-clock speedup.  Every
+    result (both configurations) must equal the oracle.  ``meets_target``
+    asserts >=1.5x, but only where scaling is physically possible
+    (``cores >= 2``); single-core boxes record honest numbers with
+    ``meets_target: null``.
+    """
+    import asyncio
+    import os
+
+    from repro.runtime import AsyncMatcherService
+    from repro.workloads import get_workload
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    workers = min(4, max(2, cores))
+    n_jobs = 8 if quick else 16
+    doc = 60_000 if quick else 200_000
+    pattern = "ABXCA"
+    texts = [make_text(doc + i) for i in range(n_jobs)]
+
+    async def drive(n_workers: int):
+        async with AsyncMatcherService(n_workers, AB4) as svc:
+            # Warm-up burst: every worker compiles the pattern engine
+            # once, so the timed region is pure steady-state service.
+            await svc.submit_many(pattern, [texts[0][:256]] * n_workers)
+            await svc.drain()
+            t0 = time.perf_counter()
+            jids = await svc.submit_many(pattern, texts)
+            results = await svc.drain()
+            wall = time.perf_counter() - t0
+            by_id = {r.job_id: r for r in results}
+            return wall, [by_id[j].results for j in jids]
+
+    wall_1, out_1 = asyncio.run(drive(1))
+    wall_n, out_n = asyncio.run(drive(workers))
+
+    spec = get_workload("match")
+    ok = all(
+        o1 == on == spec.run(pattern, t, AB4, engine="oracle")
+        for o1, on, t in zip(out_1, out_n, texts)
+    )
+    speedup = wall_1 / wall_n if wall_n > 0 else float("inf")
+    scaling_expected = cores >= 2
+    return {
+        "cores": cores,
+        "workers": workers,
+        "jobs": n_jobs,
+        "chars_per_job": doc,
+        "wall_1_worker_s": wall_1,
+        "wall_n_workers_s": wall_n,
+        "speedup": speedup,
+        "scaling_expected": scaling_expected,
+        "meets_target": (speedup >= 1.5) if scaling_expected else None,
+        "equivalent": ok,
+    }
+
+
 def bench_obs_overhead(quick: bool, bound: float = 3.0) -> Dict[str, object]:
     """Observability cost on the two hot paths.
 
@@ -371,7 +440,15 @@ def main(argv: List[str] = None) -> int:
         help="small inputs for CI smoke runs (equivalence still checked)",
     )
     ap.add_argument(
-        "--out", default="BENCH_pr5.json", help="output JSON path"
+        "--out", default="BENCH_pr6.json", help="output JSON path"
+    )
+    ap.add_argument(
+        "--sections", default=None, metavar="A,B,...",
+        help="comma-separated subset of sections to run (default: all)",
+    )
+    ap.add_argument(
+        "--require-scaling", action="store_true",
+        help="fail if runtime_scaling misses 1.5x on a multi-core box",
     )
     ap.add_argument(
         "--obs-bound", type=float, default=3.0,
@@ -401,9 +478,16 @@ def main(argv: List[str] = None) -> int:
         ("service_throughput", bench_service_throughput),
         ("workload_kernels", bench_workload_kernels),
         ("workload_service", bench_workload_service),
+        ("runtime_scaling", bench_runtime_scaling),
         ("obs_overhead",
          lambda quick: bench_obs_overhead(quick, args.obs_bound)),
     ]
+    if args.sections:
+        wanted = {s.strip() for s in args.sections.split(",") if s.strip()}
+        unknown = wanted - {name for name, _ in sections}
+        if unknown:
+            ap.error(f"unknown sections: {', '.join(sorted(unknown))}")
+        sections = [(n, f) for n, f in sections if n in wanted]
     failed = []
     for name, fn in sections:
         print(f"[{name}] ...", flush=True)
@@ -416,8 +500,16 @@ def main(argv: List[str] = None) -> int:
             if isinstance(v, float):
                 v = f"{v:.6g}"
             print(f"    {k}: {v}")
-    if not report["obs_overhead"]["within_bound"]:
+    if "obs_overhead" in report \
+            and not report["obs_overhead"]["within_bound"]:
         failed.append("obs_overhead (slowdown over --obs-bound)")
+    if args.require_scaling and "runtime_scaling" in report:
+        scaling = report["runtime_scaling"]
+        if scaling["scaling_expected"] and not scaling["meets_target"]:
+            failed.append("runtime_scaling (speedup under 1.5x target)")
+        elif not scaling["scaling_expected"]:
+            print("[runtime_scaling] single-core box: "
+                  "speedup recorded, target not enforced")
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -96,3 +96,11 @@ class ServiceError(ReproError):
 
 class BackpressureError(ServiceError):
     """A bounded job queue refused a submission (queue at capacity)."""
+
+
+class OverloadError(ServiceError):
+    """The concurrent runtime shed a job (admission control overload)."""
+
+
+class DeadlineError(ServiceError):
+    """A job's deadline expired before it could be served."""

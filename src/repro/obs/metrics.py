@@ -11,10 +11,19 @@ The registry is deliberately small: no time series, no background
 threads, just monotone counters, last-value gauges, and fixed-bucket
 histograms, all snapshot-able to JSON for the ``python -m repro.obs``
 replay tooling.
+
+Concurrency: every mutation (``inc``/``set``/``observe`` and the
+get-or-create paths) takes a lock, so one registry may be shared by the
+event loop and the :mod:`repro.runtime` pool threads without losing
+updates.  Worker *processes* do not share the registry: each keeps a
+private one and ships :meth:`MetricsRegistry.snapshot` back with its
+reply; the host folds it in with :meth:`MetricsRegistry.merge_snapshot`
+(counters add, gauges last-write, histograms merge bucket-by-bucket).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
@@ -29,20 +38,22 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
 class Counter:
     """A monotone accumulator (use a :class:`Gauge` for values that fall)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, labels: Dict[str, str]):
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (amount={amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}{dict(self.labels)}={self.value})"
@@ -51,22 +62,25 @@ class Counter:
 class Gauge:
     """A last-value-wins instantaneous reading."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, labels: Dict[str, str]):
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}{dict(self.labels)}={self.value})"
@@ -80,7 +94,9 @@ DEFAULT_BUCKETS = tuple(float(2 ** k) for k in range(0, 24, 2))
 class Histogram:
     """Fixed-bucket distribution: counts per upper bound, plus sum/count."""
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "count", "total", "_lock",
+    )
     kind = "histogram"
 
     def __init__(
@@ -98,15 +114,35 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)  # +overflow
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    def merge(
+        self, bucket_counts: Sequence[int], count: int, total: float
+    ) -> None:
+        """Fold another histogram's buckets in (process-boundary merge).
+
+        The incoming buckets must have been recorded against the same
+        bounds (one slot per bound plus overflow)."""
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: cannot merge {len(bucket_counts)} "
+                f"buckets into {len(self.bucket_counts)}"
+            )
+        with self._lock:
+            for i, n in enumerate(bucket_counts):
+                self.bucket_counts[i] += int(n)
+            self.count += int(count)
+            self.total += float(total)
 
     @property
     def mean(self) -> float:
@@ -130,6 +166,7 @@ class MetricsRegistry:
     def __init__(self):
         self._kinds: Dict[str, str] = {}
         self._families: Dict[str, Dict[LabelKey, object]] = {}
+        self._lock = threading.RLock()
 
     # -- get-or-create -----------------------------------------------------
 
@@ -145,32 +182,35 @@ class MetricsRegistry:
         return self._families[name]
 
     def counter(self, name: str, **labels) -> Counter:
-        family = self._family(name, "counter")
-        key = _label_key(labels)
-        metric = family.get(key)
-        if metric is None:
-            metric = family[key] = Counter(name, dict(key))
-        return metric
+        with self._lock:
+            family = self._family(name, "counter")
+            key = _label_key(labels)
+            metric = family.get(key)
+            if metric is None:
+                metric = family[key] = Counter(name, dict(key))
+            return metric
 
     def gauge(self, name: str, **labels) -> Gauge:
-        family = self._family(name, "gauge")
-        key = _label_key(labels)
-        metric = family.get(key)
-        if metric is None:
-            metric = family[key] = Gauge(name, dict(key))
-        return metric
+        with self._lock:
+            family = self._family(name, "gauge")
+            key = _label_key(labels)
+            metric = family.get(key)
+            if metric is None:
+                metric = family[key] = Gauge(name, dict(key))
+            return metric
 
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None, **labels
     ) -> Histogram:
-        family = self._family(name, "histogram")
-        key = _label_key(labels)
-        metric = family.get(key)
-        if metric is None:
-            metric = family[key] = Histogram(
-                name, dict(key), buckets or DEFAULT_BUCKETS
-            )
-        return metric
+        with self._lock:
+            family = self._family(name, "histogram")
+            key = _label_key(labels)
+            metric = family.get(key)
+            if metric is None:
+                metric = family[key] = Histogram(
+                    name, dict(key), buckets or DEFAULT_BUCKETS
+                )
+            return metric
 
     # -- queries -----------------------------------------------------------
 
@@ -199,6 +239,43 @@ class MetricsRegistry:
         for name in sorted(self._families):
             for key in sorted(self._families[name]):
                 yield self._families[name][key]
+
+    # -- merge (process boundary) -----------------------------------------
+
+    def merge_snapshot(self, snapshot: Dict[str, List[Dict[str, object]]]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is how :mod:`repro.runtime` worker processes report: each
+        worker accumulates into a private registry, ships the snapshot
+        over the reply channel, and the host merges it here.  Counters
+        and histograms are additive; gauges take the incoming value
+        (last write wins, matching their in-process semantics).
+        """
+        for name, rows in snapshot.items():
+            for row in rows:
+                kind = row.get("kind")
+                labels = {str(k): v for k, v in row.get("labels", {}).items()}
+                if kind == "counter":
+                    self.counter(name, **labels).inc(
+                        float(row.get("value", 0.0))
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, **labels).set(
+                        float(row.get("value", 0.0))
+                    )
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name, buckets=row.get("bounds"), **labels
+                    )
+                    hist.merge(
+                        row.get("bucket_counts", []),
+                        row.get("count", 0),
+                        row.get("total", 0.0),
+                    )
+                else:
+                    raise ObservabilityError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
 
     # -- export ------------------------------------------------------------
 

@@ -16,6 +16,7 @@ latency/utilization report.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -87,6 +88,12 @@ class Tracer:
     ``max_spans``/``max_events`` bound memory on long runs: once the cap
     is hit, further spans are created (so code holding them still works)
     but not retained, and ``dropped_spans`` counts them.
+
+    Span/event *creation* is lock-protected, so threads (the runtime's
+    dispatcher/collector) may record completed spans concurrently with
+    the event loop.  The nesting context *stack* stays single-threaded
+    by design: concurrent layers must pass ``parent`` explicitly (or
+    adopt worker-process spans via :meth:`adopt`).
     """
 
     def __init__(self, max_spans: int = 100_000, max_events: int = 100_000):
@@ -98,6 +105,7 @@ class Tracer:
         self.dropped_events = 0
         self._stack: List[Span] = []
         self._next_id = 1
+        self._lock = threading.RLock()
 
     # -- creation ----------------------------------------------------------
 
@@ -114,20 +122,21 @@ class Tracer:
             parent_id: Optional[int] = self._stack[-1].span_id
         else:
             parent_id = parent.span_id if parent is not None else None
-        span = Span(
-            span_id=self._next_id,
-            name=name,
-            t0=float(t0),
-            t1=None if t1 is None else float(t1),
-            unit=unit,
-            parent_id=parent_id,
-            attrs=attrs,
-        )
-        self._next_id += 1
-        if len(self.spans) < self.max_spans:
-            self.spans.append(span)
-        else:
-            self.dropped_spans += 1
+        with self._lock:
+            span = Span(
+                span_id=self._next_id,
+                name=name,
+                t0=float(t0),
+                t1=None if t1 is None else float(t1),
+                unit=unit,
+                parent_id=parent_id,
+                attrs=attrs,
+            )
+            self._next_id += 1
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped_spans += 1
         return span
 
     def begin(
@@ -214,10 +223,60 @@ class Tracer:
                     break
 
     def event(self, name: str, t: float, unit: str = "beats", **attrs) -> None:
-        if len(self.events) < self.max_events:
-            self.events.append(TraceEvent(name, float(t), unit, attrs))
-        else:
-            self.dropped_events += 1
+        with self._lock:
+            if len(self.events) < self.max_events:
+                self.events.append(TraceEvent(name, float(t), unit, attrs))
+            else:
+                self.dropped_events += 1
+
+    def adopt(
+        self,
+        span_dicts: List[Dict[str, object]],
+        parent: Optional[Span] = None,
+        offset: float = 0.0,
+    ) -> List[Span]:
+        """Import completed spans recorded by *another* tracer.
+
+        This is the process-boundary half of the span story: a
+        :mod:`repro.runtime` worker records ``worker.kernel`` spans into
+        its own tracer, ships ``to_dict()["spans"]`` back with its reply,
+        and the host adopts them under the job's ``runtime.job`` span.
+        Fresh span ids are assigned; parent links *within* the imported
+        batch are preserved, and batch roots attach to *parent*.
+        *offset* shifts the imported timestamps (worker clocks start at
+        its own job start; the host offsets them to dispatch time).
+        """
+        adopted: List[Span] = []
+        with self._lock:
+            id_map: Dict[int, int] = {}
+            for sd in span_dicts:
+                old_id = sd.get("span_id")
+                old_parent = sd.get("parent_id")
+                if old_parent in id_map:
+                    parent_id: Optional[int] = id_map[old_parent]
+                elif parent is not None:
+                    parent_id = parent.span_id
+                else:
+                    parent_id = None
+                t1 = sd.get("t1")
+                span = Span(
+                    span_id=self._next_id,
+                    name=str(sd["name"]),
+                    t0=float(sd["t0"]) + offset,
+                    t1=None if t1 is None else float(t1) + offset,
+                    unit=str(sd.get("unit", "beats")),
+                    parent_id=parent_id,
+                    attrs=dict(sd.get("attrs", {})),
+                )
+                self._next_id += 1
+                if old_id is not None:
+                    id_map[int(old_id)] = span.span_id
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(span)
+                else:
+                    self.dropped_spans += 1
+                adopted.append(span)
+        return adopted
 
     # -- queries -----------------------------------------------------------
 

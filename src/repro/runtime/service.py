@@ -1,0 +1,564 @@
+"""`AsyncMatcherService`: the concurrent front door of the matcher farm.
+
+Where :class:`~repro.service.service.MatcherService` *simulates* a busy
+host on a beat clock, this service *is* one: an asyncio front-end admits
+jobs (per-tenant rate limits, bounded pending set, per-job deadlines),
+a :class:`~repro.runtime.pool.WorkerPool` of real processes executes the
+workload kernels in parallel, and completed results stream back to
+awaiting clients.  It is the Figure 1-1 host/device split made literal:
+the event loop is the host, the pool processes are the attached
+special-purpose devices, and the bounded channels between them are the
+bus.
+
+The reliability story is the synchronous farm's, threaded through
+unchanged: a seeded :class:`~repro.service.reliability.FaultInjector`
+decides per dispatch whether the device dies mid-job or stalls;
+:class:`~repro.service.reliability.RetryPolicy` bounds reassignment; and
+exhausted retries, saturation, and expired deadlines all degrade to
+:class:`~repro.service.reliability.SoftwareFallback` -- slower, never
+wrong.  Whatever the routing, results are byte-identical to the
+synchronous service and to the workload oracle (property-tested in
+``tests/test_runtime_async.py``).
+
+Usage::
+
+    async with AsyncMatcherService(4, Alphabet("ABCD")) as svc:
+        jid = await svc.submit("AXC", "ABCAACACCAB", tenant="alice")
+        result = await svc.result(jid)
+        async for r in svc.stream_results():   # completion order
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..alphabet import Alphabet
+from ..errors import BackpressureError, ServiceError
+from ..service.reliability import (
+    FaultInjector,
+    FaultKind,
+    RetryPolicy,
+    SoftwareFallback,
+)
+from ..service.scheduler import Priority
+from ..workloads.registry import WorkloadSpec, get_workload
+from .admission import RateLimiter
+from .channels import JobReply, JobRequest
+from .pool import WorkerPool
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the concurrent runtime.
+
+    ``max_pending``: admitted-but-unfinished bound; beyond it submission
+    raises :class:`~repro.errors.BackpressureError` or (default) runs on
+    the host oracle, exactly like the farm's ``degrade_when_saturated``.
+    ``max_retries``: failed executions per job before degrading.
+    ``default_timeout_s``: SLO applied to jobs submitted without an
+    explicit ``timeout`` (None = no deadline).
+    ``stuck_stall_s``: wall seconds per stuck *beat* when a seeded
+    stuck-beats fault is injected (0 disables actual stalling; the
+    fault is still counted).
+    ``rate_limits``: tenant -> (jobs/s, burst) token-bucket specs;
+    ``default_rate_limit`` applies to unlisted tenants.
+    """
+
+    max_pending: int = 256
+    max_retries: int = 2
+    default_timeout_s: Optional[float] = None
+    degrade_when_saturated: bool = True
+    stuck_stall_s: float = 0.0
+    rate_limits: Mapping[str, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    default_rate_limit: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self):
+        if self.max_pending <= 0:
+            raise ServiceError("max_pending must be positive")
+        if self.max_retries < 0:
+            raise ServiceError("max_retries cannot be negative")
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ServiceError("default_timeout_s must be positive")
+        if self.stuck_stall_s < 0:
+            raise ServiceError("stuck_stall_s cannot be negative")
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """One completed job: oracle-identical results plus its wall-clock
+    latency story (seconds, unlike the simulated farm's beats)."""
+
+    job_id: int
+    tenant: str
+    priority: Priority
+    workload: str
+    results: list
+    submitted_s: float
+    started_s: float
+    finished_s: float
+    attempts: int
+    via_fallback: bool
+    timed_out: bool
+    worker: Optional[str]
+    mode: str
+
+    @property
+    def wait_s(self) -> float:
+        return self.started_s - self.submitted_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_s - self.submitted_s
+
+
+class _Job:
+    """In-flight bookkeeping for one admitted job."""
+
+    __slots__ = (
+        "job_id", "tenant", "priority", "workload", "spec", "taps",
+        "stream", "orig_len", "deadline", "submitted_s", "started_s",
+        "attempts", "future", "span", "done", "timed_out", "timer",
+    )
+
+    def __init__(
+        self, job_id, tenant, priority, workload, spec, taps, stream,
+        orig_len, submitted_s, future,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.priority = priority
+        self.workload = workload
+        self.spec: WorkloadSpec = spec
+        self.taps = taps
+        self.stream = stream
+        self.orig_len = orig_len
+        self.deadline: Optional[float] = None
+        self.submitted_s = submitted_s
+        self.started_s: Optional[float] = None
+        self.attempts = 0
+        self.future: asyncio.Future = future
+        self.span = None
+        self.done = False
+        self.timed_out = False
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class AsyncMatcherService:
+    """Concurrent submit/stream/drain over a pool of worker processes.
+
+    Construct with a worker count and alphabet (a pool is built for
+    you) or pass a prebuilt :class:`~repro.runtime.pool.WorkerPool`.
+    The service must be started before submitting -- ``async with`` or
+    an explicit ``await start()`` -- and closed when finished so the
+    processes join.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        alphabet: Optional[Alphabet] = None,
+        config: Optional[RuntimeConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        obs=None,
+        pool: Optional[WorkerPool] = None,
+    ):
+        self.config = config or RuntimeConfig()
+        self.pool = pool if pool is not None else WorkerPool(
+            n_workers, alphabet, obs=obs
+        )
+        self.alphabet = self.pool.alphabet
+        self.faults = faults or FaultInjector()
+        self.retry = RetryPolicy(self.config.max_retries)
+        self.fallback = SoftwareFallback()
+        self.obs = obs
+        if obs is not None:
+            self.faults.attach_obs(obs)
+        from ..obs.metrics import MetricsRegistry
+
+        self.registry = obs.registry if obs is not None else MetricsRegistry()
+        r = self.registry
+        self._m_submitted = r.counter("runtime.jobs.submitted")
+        self._m_completed = r.counter("runtime.jobs.completed")
+        self._m_retries = r.counter("runtime.retries")
+        self._m_deaths = r.counter("runtime.deaths")
+        self._m_fallbacks = r.counter("runtime.fallbacks")
+        self._m_timeouts = r.counter("runtime.timeouts")
+        self._m_backpressure = r.counter("runtime.backpressure_hits")
+        self._m_stale = r.counter("runtime.stale_replies")
+        self._h_latency = r.histogram("runtime.job.latency_s")
+        self.limiter = RateLimiter(
+            self.config.rate_limits, self.config.default_rate_limit
+        )
+        self._jobs: Dict[int, _Job] = {}
+        self._completed: Dict[int, RuntimeResult] = {}
+        self._next_id = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = time.perf_counter()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "AsyncMatcherService":
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        await self._loop.run_in_executor(None, self.pool.start)
+        self._started = True
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: optionally drain, then join the workers."""
+        if drain and self._started:
+            await self.drain()
+        if self._started:
+            await self._loop.run_in_executor(None, self.pool.shutdown)
+        self._started = False
+
+    async def __aenter__(self) -> "AsyncMatcherService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close(drain=exc_type is None)
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(
+        self,
+        params,
+        stream: Sequence,
+        tenant: str = "default",
+        priority: Priority = Priority.BATCH,
+        workload: str = "match",
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Admit one job; returns its id (await :meth:`result` for the
+        value).
+
+        The submitter is *suspended* while its tenant is over its rate
+        limit (CSP backpressure).  When the pending set is at
+        ``max_pending`` the job is shed: served immediately from the
+        host-side oracle if ``degrade_when_saturated`` (never wrong,
+        just slower), else :class:`~repro.errors.BackpressureError`.
+        *timeout* (seconds) is the job's SLO: if it expires before a
+        worker answers, the job is completed degraded and any late
+        worker reply is dropped.
+        """
+        if not self._started:
+            raise ServiceError(
+                "service not started (use 'async with' or await start())"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ServiceError("timeout must be positive")
+        while True:
+            delay = self.limiter.delay(tenant, self._loop.time())
+            if delay <= 0.0:
+                break
+            await asyncio.sleep(delay)
+        spec = get_workload(workload)
+        taps = spec.parse_params(params, self.alphabet)
+        validated = spec.validate_stream(stream, self.alphabet)
+        ktaps, feed = spec.prepare(taps, validated)
+        job_id = self._next_id
+        self._next_id += 1
+        self._m_submitted.inc()
+        job = _Job(
+            job_id, tenant, priority, workload, spec, ktaps, feed,
+            len(validated), self._now(), self._loop.create_future(),
+        )
+        if self.obs is not None:
+            job.span = self.obs.tracer.open_span(
+                "runtime.job", t0=job.submitted_s, unit="s",
+                job_id=job_id, tenant=tenant, priority=priority.name,
+                workload=workload,
+            )
+        if not validated:
+            job.started_s = job.submitted_s
+            self._jobs[job_id] = job
+            self._complete(job, [], mode="empty", worker=None,
+                           via_fallback=False)
+            return job_id
+        if len(self._jobs) >= self.config.max_pending:
+            self._m_backpressure.inc()
+            if not self.config.degrade_when_saturated:
+                if job.span is not None:
+                    self.obs.tracer.close(
+                        job.span, t1=self._now(), rejected=True
+                    )
+                raise BackpressureError(
+                    f"runtime pending set full ({self.config.max_pending})"
+                )
+            self._jobs[job_id] = job
+            job.started_s = self._now()
+            self._serve_fallback(job, reason="saturated")
+            return job_id
+        self._jobs[job_id] = job
+        timeout_s = timeout if timeout is not None \
+            else self.config.default_timeout_s
+        if timeout_s is not None:
+            job.deadline = self._loop.time() + timeout_s
+            job.timer = self._loop.call_later(
+                timeout_s, self._on_deadline, job
+            )
+        self._dispatch(job)
+        return job_id
+
+    async def submit_many(
+        self,
+        params,
+        streams: Sequence[Sequence],
+        tenant: str = "default",
+        priority: Priority = Priority.BATCH,
+        workload: str = "match",
+        timeout: Optional[float] = None,
+    ) -> List[int]:
+        """Admit one job per stream (rate limits apply per job)."""
+        return [
+            await self.submit(
+                params, s, tenant=tenant, priority=priority,
+                workload=workload, timeout=timeout,
+            )
+            for s in streams
+        ]
+
+    # -- dispatch / completion --------------------------------------------
+
+    def _dispatch(self, job: _Job) -> None:
+        fault = self.faults.sample()
+        fault_kind = None
+        stall_s = 0.0
+        if fault is not None:
+            if fault.kind is FaultKind.WORKER_DEATH:
+                fault_kind = "death"
+            else:
+                stall_s = fault.extra_beats * self.config.stuck_stall_s
+        if job.started_s is None:
+            job.started_s = self._now()
+        # Character streams cross the process boundary as a compact
+        # string (picks/unpickles ~10x faster than a char list); the
+        # fast engines iterate either form identically.
+        wire_stream = job.stream
+        if not job.spec.numeric and wire_stream and \
+                isinstance(wire_stream[0], str):
+            wire_stream = "".join(wire_stream)
+        request = JobRequest(
+            job_id=job.job_id,
+            attempt=job.attempts,
+            workload=job.workload,
+            taps=job.taps,
+            stream=wire_stream,
+            collect_obs=self.obs is not None,
+            fault=fault_kind,
+            stall_s=stall_s,
+        )
+        self.pool.submit(
+            request,
+            self._reply_from_thread,
+            deadline=job.deadline,
+            priority=int(job.priority),
+        )
+
+    def _reply_from_thread(self, reply: JobReply) -> None:
+        # Collector-thread context: hop onto the event loop.
+        self._loop.call_soon_threadsafe(self._handle_reply, reply)
+
+    def _handle_reply(self, reply: JobReply) -> None:
+        job = self._jobs.get(reply.job_id)
+        if job is None or job.done or reply.attempt != job.attempts:
+            self._m_stale.inc()
+            return
+        if reply.ok:
+            if self.obs is not None:
+                if reply.metrics:
+                    self.obs.registry.merge_snapshot(reply.metrics)
+                if reply.spans:
+                    self.obs.tracer.adopt(
+                        reply.spans, parent=job.span,
+                        offset=max(job.started_s, 0.0),
+                    )
+            results = job.spec.finalize(job.taps, job.orig_len, reply.results)
+            self._complete(
+                job, results, mode="pool", worker=reply.worker,
+                via_fallback=False,
+            )
+            return
+        job.attempts += 1
+        if reply.died:
+            self._m_deaths.inc()
+        if self.retry.should_retry(job.attempts):
+            self._m_retries.inc()
+            self._dispatch(job)
+        else:
+            self._serve_fallback(job, reason="retries-exhausted")
+
+    def _on_deadline(self, job: _Job) -> None:
+        """The job's SLO expired: shed it from the pool and serve it
+        degraded.  A hung worker can no longer wedge this job."""
+        if job.done:
+            return
+        job.timed_out = True
+        self._m_timeouts.inc()
+        self.pool.cancel(job.job_id, job.attempts)
+        job.attempts += 1
+        if self.obs is not None:
+            self.obs.tracer.event(
+                "runtime.job.timeout", t=self._now(), unit="s",
+                job_id=job.job_id, attempts=job.attempts,
+            )
+        self._serve_fallback(job, reason="deadline")
+
+    def _serve_fallback(self, job: _Job, reason: str) -> None:
+        """Host-side degraded service: the oracle answer, never wrong."""
+        t0 = self._now()
+        if job.workload == "match":
+            merged = self.fallback.match(job.taps, job.stream)
+        else:
+            merged = self.fallback.kernel(job.spec, job.taps, job.stream)
+        results = job.spec.finalize(job.taps, job.orig_len, merged)
+        self._m_fallbacks.inc()
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "runtime.fallback", t0=t0, t1=self._now(), unit="s",
+                parent=job.span, reason=reason, samples=len(job.stream),
+            )
+        self._complete(
+            job, results, mode="software", worker=None, via_fallback=True
+        )
+
+    def _complete(
+        self, job: _Job, results: list, mode: str,
+        worker: Optional[str], via_fallback: bool,
+    ) -> None:
+        job.done = True
+        if job.timer is not None:
+            job.timer.cancel()
+            job.timer = None
+        finished = self._now()
+        started = job.started_s if job.started_s is not None else finished
+        result = RuntimeResult(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            priority=job.priority,
+            workload=job.workload,
+            results=results,
+            submitted_s=job.submitted_s,
+            started_s=started,
+            finished_s=finished,
+            attempts=job.attempts,
+            via_fallback=via_fallback,
+            timed_out=job.timed_out,
+            worker=worker,
+            mode=mode,
+        )
+        del self._jobs[job.job_id]
+        self._completed[job.job_id] = result
+        self._m_completed.inc()
+        self._h_latency.observe(result.latency_s)
+        if job.span is not None:
+            self.obs.tracer.close(
+                job.span, t1=finished, mode=mode, worker=worker,
+                attempts=job.attempts, via_fallback=via_fallback,
+                timed_out=job.timed_out,
+            )
+            job.span = None
+        if not job.future.done():
+            job.future.set_result(result)
+
+    # -- results -----------------------------------------------------------
+
+    async def result(self, job_id: int) -> RuntimeResult:
+        """Await one job's completion."""
+        done = self._completed.get(job_id)
+        if done is not None:
+            return done
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id}")
+        return await asyncio.shield(job.future)
+
+    async def stream_results(
+        self, job_ids: Optional[Sequence[int]] = None
+    ) -> AsyncIterator[RuntimeResult]:
+        """Yield results as they complete (already-done first, in
+        completion order), for *job_ids* or everything admitted."""
+        if job_ids is None:
+            wanted = set(self._completed) | set(self._jobs)
+        else:
+            wanted = set(job_ids)
+        for jid, result in list(self._completed.items()):
+            if jid in wanted:
+                yield result
+        pending = {
+            job.future for jid, job in self._jobs.items() if jid in wanted
+        }
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for fut in done:
+                yield fut.result()
+
+    async def drain(self) -> List[RuntimeResult]:
+        """Wait until every admitted job has completed; returns all
+        results so far in job-id order (the sync service's contract)."""
+        while self._jobs:
+            await asyncio.wait([job.future for job in self._jobs.values()])
+        return [self._completed[i] for i in sorted(self._completed)]
+
+    def results(self) -> List[RuntimeResult]:
+        """Completed results so far (no waiting), job-id order."""
+        return [self._completed[i] for i in sorted(self._completed)]
+
+    # -- counters (registry-backed, like ServiceTelemetry) -----------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._m_submitted.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._m_completed.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._m_retries.value)
+
+    @property
+    def deaths(self) -> int:
+        return int(self._m_deaths.value)
+
+    @property
+    def fallbacks(self) -> int:
+        return int(self._m_fallbacks.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._m_timeouts.value)
+
+    @property
+    def backpressure_hits(self) -> int:
+        return int(self._m_backpressure.value)
+
+    def stats(self) -> Dict[str, float]:
+        """A flat snapshot of the runtime's own counters."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "retries": self.retries,
+            "deaths": self.deaths,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "backpressure_hits": self.backpressure_hits,
+            "rate_limit_waits": self.limiter.waits,
+            "pool_dispatched": self.pool.dispatched,
+            "pool_replies": self.pool.replies,
+            "pool_dropped_replies": self.pool.dropped_replies,
+        }

@@ -1,0 +1,142 @@
+"""The worker-process entry point: one device, one process, one loop.
+
+``worker_main`` is what each :class:`~repro.runtime.pool.WorkerPool`
+process runs: receive a :class:`~repro.runtime.channels.JobRequest`,
+evaluate the workload's fast kernel (the same
+:class:`~repro.workloads.WorkloadSpec` engines the synchronous farm
+uses, so results are byte-identical by construction), reply with the
+window-space values plus the worker's own metrics snapshot and spans.
+
+The function must be importable by ``multiprocessing`` spawn: it lives
+at module top level, takes only picklable arguments, and rebuilds its
+:class:`~repro.alphabet.Alphabet` locally from symbols+bits rather than
+receiving a live object graph.  Engines are cached per pattern (a farm
+typically streams many texts against few patterns), mirroring
+:class:`~repro.service.pool.PoolWorker`'s compiled-pattern cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Tuple
+
+from ..alphabet import Alphabet
+from .channels import Channel, JobReply, JobRequest, SHUTDOWN
+
+
+def _execute(
+    req: JobRequest, name: str, alphabet: Optional[Alphabet], cache: dict
+) -> JobReply:
+    """Run one request to completion (or to its injected fault)."""
+    t0 = time.perf_counter()
+    if req.stall_s > 0.0:
+        # An injected stuck/hung worker: the host's deadline machinery,
+        # not this process, is responsible for routing around it.
+        time.sleep(req.stall_s)
+    if req.fault == "death":
+        return JobReply(
+            job_id=req.job_id,
+            attempt=req.attempt,
+            ok=False,
+            worker=name,
+            pid=os.getpid(),
+            wall_s=time.perf_counter() - t0,
+            error="injected worker death",
+            died=True,
+        )
+    try:
+        from ..workloads.registry import get_workload
+
+        spec = get_workload(req.workload)
+        key = (req.workload, tuple(req.taps) if not spec.numeric else None)
+        engine = cache.get(key)
+        if engine is None:
+            # For character workloads the fast engine compiles the
+            # pattern (FastMatcher/FastCounter); cache one per pattern.
+            # Numeric kernels are stateless strided calls; no cache.
+            if not spec.numeric:
+                engine = _compiled(spec, req.taps, alphabet)
+                cache.clear()  # one pattern at a time: bounded memory
+                cache[key] = engine
+        if engine is not None:
+            results = engine(req.stream)
+        else:
+            results = spec.fast(req.taps, req.stream, alphabet)
+        wall = time.perf_counter() - t0
+        metrics = spans = None
+        if req.collect_obs:
+            from ..obs import Observability
+
+            obs = Observability()
+            obs.tracer.record(
+                "worker.kernel", t0=0.0, t1=wall, unit="s",
+                worker=name, pid=os.getpid(), workload=spec.name,
+                samples=len(req.stream), window=len(req.taps),
+                attempt=req.attempt, engine="fastpath",
+            )
+            obs.registry.counter(
+                "runtime.worker.jobs", worker=name, workload=spec.name
+            ).inc()
+            obs.registry.counter(
+                "runtime.worker.samples", worker=name
+            ).inc(len(req.stream))
+            obs.registry.histogram(
+                "runtime.worker.wall_s", worker=name
+            ).observe(wall)
+            metrics = obs.registry.snapshot()
+            spans = obs.tracer.to_dict()["spans"]
+        return JobReply(
+            job_id=req.job_id,
+            attempt=req.attempt,
+            ok=True,
+            worker=name,
+            pid=os.getpid(),
+            wall_s=wall,
+            results=results,
+            metrics=metrics,
+            spans=spans,
+        )
+    except Exception as exc:  # ship the failure home instead of dying
+        return JobReply(
+            job_id=req.job_id,
+            attempt=req.attempt,
+            ok=False,
+            worker=name,
+            pid=os.getpid(),
+            wall_s=time.perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _compiled(spec, taps, alphabet):
+    """A reusable callable for a character workload's compiled pattern."""
+    from ..core.fastpath import FastCounter, FastMatcher
+
+    if spec.name == "match":
+        return FastMatcher(list(taps), alphabet).match
+    if spec.name == "count":
+        return FastCounter(list(taps), alphabet).counts
+    fast = spec.fast
+
+    def run(stream, _taps=list(taps), _al=alphabet):
+        return fast(_taps, stream, _al)
+
+    return run
+
+
+def worker_main(
+    name: str,
+    symbols: Optional[str],
+    bits: Optional[int],
+    requests: Channel,
+    replies: Channel,
+) -> None:
+    """Process main loop: recv -> execute -> reply, until SHUTDOWN."""
+    alphabet = Alphabet(symbols, bits) if symbols else None
+    cache: dict = {}
+    while True:
+        req = requests.recv()
+        if req is SHUTDOWN:
+            break
+        replies.send(_execute(req, name, alphabet, cache))

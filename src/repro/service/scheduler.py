@@ -211,6 +211,15 @@ class SharedBus:
         self._m_reservations = obs.registry.counter("bus.reservations")
         self._h_wait = obs.registry.histogram("bus.wait_beats")
 
+    def eta(self, n_chars: int, now: float) -> float:
+        """The beat at which an *n_chars* transfer starting no earlier
+        than *now* would complete -- a pure peek, no reservation.  The
+        service uses this to test a job against its deadline *before*
+        committing worker and bus time to it."""
+        if n_chars < 0:
+            raise ServiceError("cannot transfer a negative number of characters")
+        return max(self.free_at, now) + n_chars * self.per_char_beats
+
     def reserve(self, n_chars: int, now: float) -> float:
         """Claim bus time for *n_chars* starting no earlier than *now*;
         returns the beat at which the transfer completes."""

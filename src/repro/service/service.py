@@ -69,6 +69,7 @@ class MatchJob:
     taps: Optional[list] = None
     orig_len: int = 0
     spec: Optional[WorkloadSpec] = None
+    deadline: Optional[float] = None  # absolute beat; None = no SLO
 
     @property
     def window_len(self) -> int:
@@ -95,6 +96,7 @@ class JobResult:
     attempts: int
     via_fallback: bool
     workload: str = "match"
+    timed_out: bool = False
 
     @property
     def latency_beats(self) -> float:
@@ -114,6 +116,7 @@ class _JobState:
     service_beats: float = 0.0
     workers_used: List[str] = field(default_factory=list)
     via_fallback: bool = False
+    timed_out: bool = False
 
     @property
     def done(self) -> bool:
@@ -184,6 +187,7 @@ class MatcherService:
         tenant: str = "default",
         priority: Priority = Priority.BATCH,
         workload: str = "match",
+        timeout: Optional[float] = None,
     ) -> int:
         """Admit one query; returns its job id.
 
@@ -198,7 +202,16 @@ class MatcherService:
         otherwise a saturated submission runs on the host CPU's software
         matcher (or the workload's behavioral oracle) immediately
         (slower, never wrong).
+
+        *timeout* (beats) is the job's SLO: any shard launch whose
+        projected finish would land past ``submitted + timeout`` is not
+        committed to a worker at all -- the shard is served degraded
+        from the host oracle instead, so a slow or hung worker can
+        never wedge a drain past the deadline.  The result is flagged
+        ``timed_out`` (and still oracle-identical).
         """
+        if timeout is not None and timeout <= 0:
+            raise ServiceError("timeout must be a positive number of beats")
         if workload == "match":
             parsed = self._parse(pattern)
             chars = self.pool.alphabet.validate_text(text)
@@ -229,6 +242,8 @@ class MatcherService:
                 spec=spec,
             )
             empty = not validated
+        if timeout is not None:
+            job.deadline = job.submitted_beat + timeout
         self._next_id += 1
         self.telemetry.submitted += 1
         if self.obs is not None:
@@ -272,6 +287,7 @@ class MatcherService:
         tenant: str = "default",
         priority: Priority = Priority.BATCH,
         workload: str = "match",
+        timeout: Optional[float] = None,
     ) -> List[int]:
         """Admit one job per text in *texts*, parsing the pattern once.
 
@@ -284,7 +300,7 @@ class MatcherService:
             pattern = self._parse(pattern)
         return [
             self.submit(pattern, text, tenant=tenant, priority=priority,
-                        workload=workload)
+                        workload=workload, timeout=timeout)
             for text in texts
         ]
 
@@ -305,6 +321,10 @@ class MatcherService:
             if not self._inflight:
                 if self.pool.n_live == 0:
                     self._degrade_remaining()
+                    continue
+                if not self.queues.depth() and not self._retry_ready:
+                    # Everything was served inline (deadline timeouts /
+                    # saturation degrades) without touching a worker.
                     continue
                 raise ServiceError(
                     "scheduler stalled with live workers and queued jobs"
@@ -380,9 +400,6 @@ class MatcherService:
         self, state: _JobState, shard: TextShard, worker: PoolWorker
     ) -> None:
         now = self.clock.now
-        if state.started_beat is None:
-            state.started_beat = now
-        worker.state = WorkerState.BUSY
         plen = state.job.window_len
         n_fed = shard.n_fed
         service = worker.service_beats(plen, n_fed)
@@ -392,12 +409,35 @@ class MatcherService:
             # The stream dies partway through; beats and bus time up to
             # the failure point are burned, nothing useful comes back.
             burned = max(1.0, fault.at_fraction * service)
-            self.bus.reserve(int(chars * fault.at_fraction), now)
+            bus_chars = int(chars * fault.at_fraction)
             finish = now + burned
         else:
             extra = fault.extra_beats if fault is not None else 0
-            bus_done = self.bus.reserve(chars, now)
-            finish = max(now + service + extra, bus_done)
+            bus_chars = chars
+            finish = max(now + service + extra, self.bus.eta(chars, now))
+        deadline = state.job.deadline
+        if deadline is not None and finish > deadline:
+            # The SLO would be blown before this launch even finished
+            # (slow worker, stuck beats, bus queue, or a death that
+            # would burn past the deadline): don't commit the worker or
+            # the bus at all -- serve the shard degraded right now.
+            # The sampled fault is discarded with the launch.
+            self.telemetry.timeouts += 1
+            state.timed_out = True
+            if state.started_beat is None:
+                state.started_beat = now
+            if self.obs is not None:
+                self.obs.tracer.event(
+                    "job.timeout", t=now, unit="beats",
+                    job_id=state.job.job_id, shard=shard.index,
+                    projected_finish=finish, deadline=deadline,
+                )
+            self._shard_software(state, shard)
+            return
+        if state.started_beat is None:
+            state.started_beat = now
+        worker.state = WorkerState.BUSY
+        self.bus.reserve(bus_chars, now)
         self._seq += 1
         execution = _Execution(
             self._seq, state, shard, worker, now, finish, fault
@@ -519,6 +559,7 @@ class MatcherService:
                 attempts=job.attempts,
                 via_fallback=state.via_fallback,
                 workload=job.workload,
+                timed_out=state.timed_out,
             ),
             job,
         )
@@ -609,6 +650,7 @@ class MatcherService:
                 job.span, t1=result.finished_beat,
                 mode=result.mode, workers=list(result.workers),
                 attempts=result.attempts, via_fallback=result.via_fallback,
+                timed_out=result.timed_out,
                 wait_beats=result.wait_beats,
                 service_beats=result.service_beats,
             )

@@ -190,6 +190,7 @@ class ServiceTelemetry:
     deaths = _Scalar("_deaths", int)
     stuck_events = _Scalar("_stuck", int)
     fallbacks = _Scalar("_fallbacks", int)
+    timeouts = _Scalar("_timeouts", int)
     backpressure_hits = _Scalar("_backpressure", int)
     text_chars_served = _Scalar("_chars", int)
     bus_busy_beats = _Scalar("_bus_busy", float)
@@ -205,6 +206,7 @@ class ServiceTelemetry:
         self._deaths = r.counter("service.worker_deaths")
         self._stuck = r.counter("service.stuck_events")
         self._fallbacks = r.counter("service.fallbacks")
+        self._timeouts = r.counter("service.timeouts")
         self._backpressure = r.counter("service.backpressure_hits")
         self._chars = r.counter("service.text_chars_served")
         self._bus_busy = r.gauge("service.bus.busy_beats")
@@ -298,6 +300,7 @@ class ServiceTelemetry:
                 "worker deaths": self.deaths,
                 "stuck-beat events": self.stuck_events,
                 "software fallbacks": self.fallbacks,
+                "deadline timeouts": self.timeouts,
                 "backpressure hits": self.backpressure_hits,
                 "text chars served": self.text_chars_served,
                 "makespan beats": self.makespan_beats,

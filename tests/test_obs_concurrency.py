@@ -1,0 +1,202 @@
+"""Concurrent-safety tests for the observability layer.
+
+The concurrent runtime shares one :class:`MetricsRegistry` between the
+event loop, the pool's dispatcher/collector threads, and (via snapshot
+merge) the worker processes.  These tests pin down the contract: metric
+updates are atomic under threads, registry get-or-create never races
+out duplicate instances, worker snapshots fold in additively, and spans
+recorded in another process re-parent correctly under the host's
+``runtime.job`` span."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.errors import ObservabilityError
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+AB = Alphabet("ABCD")
+
+
+class TestThreadSafety:
+    def test_counter_increments_are_atomic(self):
+        r = MetricsRegistry()
+        c = r.counter("hits")
+        n_threads, n_incs = 8, 2000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+    def test_histogram_observations_are_atomic(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=[0.5, 1.5])
+        n_threads, n_obs = 8, 1000
+
+        def worker():
+            for i in range(n_obs):
+                h.observe(i % 2)  # alternate buckets
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == n_threads * n_obs
+        assert sum(h.bucket_counts) == n_threads * n_obs
+
+    def test_get_or_create_never_duplicates(self):
+        r = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(r.counter("shared", tenant="a"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+    def test_tracer_records_from_threads(self):
+        tracer = Tracer(max_spans=10_000)
+        n_threads, n_spans = 8, 500
+
+        def worker(k):
+            for i in range(n_spans):
+                tracer.record(f"t{k}", t0=i, t1=i + 1)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans) == n_threads * n_spans
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)  # no id was handed out twice
+
+
+class TestSnapshotMerge:
+    def test_counters_fold_additively(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("jobs", worker="w0").inc(3)
+        a.counter("jobs", worker="w1").inc(2)
+        b.counter("jobs", worker="w0").inc(10)
+        b.merge_snapshot(a.snapshot())
+        assert b.counter("jobs", worker="w0").value == 13
+        assert b.counter("jobs", worker="w1").value == 2
+        b.merge_snapshot(a.snapshot())  # merging twice adds twice
+        assert b.counter("jobs", worker="w0").value == 16
+
+    def test_gauges_take_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(7)
+        b.gauge("depth").set(99)
+        b.merge_snapshot(a.snapshot())
+        assert b.gauge("depth").value == 7
+
+    def test_histograms_fold_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.1, 0.9, 5.0):
+            a.histogram("wall", buckets=[1.0, 2.0]).observe(v)
+        b.histogram("wall", buckets=[1.0, 2.0]).observe(1.5)
+        b.merge_snapshot(a.snapshot())
+        h = b.histogram("wall", buckets=[1.0, 2.0])
+        assert h.count == 4
+        assert h.total == pytest.approx(7.5)
+        assert h.bucket_counts == [2, 1, 1]
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("wall", buckets=[1.0]).observe(0.5)
+        snap = a.snapshot()
+        b.histogram("wall", buckets=[1.0])
+        # Corrupt the shipped bucket layout: merge must refuse.
+        snap["wall"][0]["bucket_counts"] = [1, 2, 3, 4]
+        with pytest.raises(ObservabilityError):
+            b.merge_snapshot(snap)
+
+    def test_unknown_kind_rejected(self):
+        b = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            b.merge_snapshot({"x": [{"kind": "exotic", "labels": {}}]})
+
+
+class TestSpanAdoption:
+    def test_adopt_reparents_and_offsets(self):
+        remote = Tracer()
+        root = remote.record("worker.kernel", t0=0.0, t1=2.0, unit="s")
+        remote.record("worker.sub", t0=0.5, t1=1.0, unit="s", parent=root)
+        host = Tracer()
+        parent = host.open_span("runtime.job", t0=10.0, unit="s")
+        adopted = host.adopt(
+            remote.to_dict()["spans"], parent=parent, offset=10.0
+        )
+        assert len(adopted) == 2
+        kernel, sub = adopted
+        assert kernel.parent_id == parent.span_id
+        assert sub.parent_id == kernel.span_id  # intra-batch link kept
+        assert kernel.t0 == 10.0 and kernel.t1 == 12.0
+        assert sub.t0 == 10.5
+        ids = {s.span_id for s in host.spans}
+        assert len(ids) == len(host.spans)  # fresh ids, no collisions
+
+    def test_adopt_respects_max_spans(self):
+        remote = Tracer()
+        for i in range(10):
+            remote.record("s", t0=i, t1=i + 1)
+        host = Tracer(max_spans=5)
+        host.adopt(remote.to_dict()["spans"])
+        assert len(host.spans) == 5
+        assert host.dropped_spans == 5
+
+
+class TestProcessBoundary:
+    def test_worker_process_obs_lands_under_runtime_job(self):
+        """End to end across a real process boundary: worker counters
+        merge into the host registry and worker.kernel spans parent
+        under the runtime.job that dispatched them."""
+        from repro.runtime import AsyncMatcherService
+
+        async def go():
+            obs = Observability()
+            async with AsyncMatcherService(2, AB, obs=obs) as svc:
+                await svc.submit_many("AB", ["ABAB" * 8] * 6)
+                await svc.drain()
+            return obs
+
+        obs = asyncio.run(go())
+        snap = obs.registry.snapshot()
+        merged_jobs = sum(
+            row["value"] for row in snap["runtime.worker.jobs"]
+        )
+        assert merged_jobs == 6  # every worker-side increment arrived
+        merged_samples = sum(
+            row["value"] for row in snap["runtime.worker.samples"]
+        )
+        assert merged_samples == 6 * len("ABAB" * 8)
+        spans = obs.tracer.to_dict()["spans"]
+        jobs = {s["span_id"]: s for s in spans if s["name"] == "runtime.job"}
+        kernels = [s for s in spans if s["name"] == "worker.kernel"]
+        assert len(jobs) == 6 and len(kernels) == 6
+        for k in kernels:
+            assert jobs[k["parent_id"]]["attrs"]["workload"] == "match"
+            # Worker wall-time sits inside the host-side job window.
+            assert k["t0"] >= jobs[k["parent_id"]]["t0"]

@@ -1,0 +1,310 @@
+"""Policy-level tests for :class:`repro.runtime.AsyncMatcherService`:
+differential equivalence against the synchronous farm and the oracle
+for every registered workload, fault/retry/fallback behaviour, SLO
+deadlines, admission control, and observability merge-back."""
+
+import asyncio
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.chip.chip import ChipSpec
+from repro.errors import BackpressureError, ServiceError
+from repro.obs import Observability
+from repro.runtime import AsyncMatcherService, RuntimeConfig, WorkerPool
+from repro.service.pool import uniform_pool
+from repro.service.reliability import FaultInjector
+from repro.service.service import MatcherService
+from repro.workloads.registry import get_workload, list_workloads
+
+AB = Alphabet("ABCD")
+
+# One text/stream per workload kind, long enough to be interesting.
+CHAR_TEXT = "ABCDACBDABCACDBA" * 12
+NUM_STREAM = [((i * 37) % 19) - 9.0 for i in range(150)]
+
+PARAMS = {
+    "match": "ABXC",
+    "count": "AXC",
+    "correlation": [1.0, -2.0, 0.5],
+    "inner-product": [0.5, 1.5, -1.0, 2.0],
+    "convolution": [1.0, 2.0, 3.0],
+    "fir": [0.25, 0.5, 0.25],
+}
+
+
+def _input_for(name):
+    spec = get_workload(name)
+    return PARAMS[name], (NUM_STREAM if spec.numeric else CHAR_TEXT)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    pool = WorkerPool(2, AB).start()
+    yield pool
+    pool.shutdown()
+
+
+class TestDifferential:
+    def test_every_workload_matches_sync_service_and_oracle(
+        self, shared_pool
+    ):
+        """The tentpole acceptance bar: async-runtime results are
+        byte-identical to the synchronous MatcherService and to the
+        workload oracle, for every registered workload."""
+
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            out = {}
+            for name in list_workloads():
+                params, stream = _input_for(name)
+                jid = await svc.submit(params, stream, workload=name)
+                out[name] = (await svc.result(jid)).results
+            return out
+
+        async_results = run(go())
+        sync_svc = MatcherService(uniform_pool(4, ChipSpec(8, 2), AB))
+        for name in list_workloads():
+            params, stream = _input_for(name)
+            sync_svc.submit(params, stream, workload=name)
+        sync_by_workload = {r.workload: r.results for r in sync_svc.drain()}
+        for name in list_workloads():
+            params, stream = _input_for(name)
+            oracle = get_workload(name).run(params, stream, AB,
+                                            engine="oracle")
+            assert async_results[name] == oracle, name
+            assert sync_by_workload[name] == oracle, name
+
+    def test_equivalence_under_seeded_faults(self):
+        """Deaths and retries reroute work; they never change answers."""
+
+        async def go():
+            async with AsyncMatcherService(
+                2, AB, faults=FaultInjector(seed=7, p_death=0.35),
+            ) as svc:
+                for name in list_workloads():
+                    params, stream = _input_for(name)
+                    await svc.submit(params, stream, workload=name)
+                results = await svc.drain()
+                return results, svc.deaths, svc.fallbacks
+
+        results, deaths, fallbacks = run(go())
+        assert deaths > 0  # the seed genuinely injected faults
+        by_workload = {r.workload: r for r in results}
+        for name in list_workloads():
+            params, stream = _input_for(name)
+            oracle = get_workload(name).run(params, stream, AB,
+                                            engine="oracle")
+            assert by_workload[name].results == oracle, name
+
+    def test_empty_stream_completes_immediately(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            jid = await svc.submit("AB", "")
+            return await svc.result(jid)
+
+        r = run(go())
+        assert r.results == [] and r.mode == "empty"
+
+
+class TestReliabilityPolicy:
+    def test_retries_then_fallback_exhaustion(self, shared_pool):
+        """With p_death=1 every attempt dies: the job burns its retry
+        budget and lands on the oracle fallback."""
+
+        async def go():
+            svc = AsyncMatcherService(
+                pool=shared_pool,
+                faults=FaultInjector(seed=1, p_death=1.0),
+                config=RuntimeConfig(max_retries=2),
+            )
+            await svc.start()
+            jid = await svc.submit("AB", "ABAB" * 8)
+            r = await svc.result(jid)
+            return r, svc.retries, svc.deaths
+
+        r, retries, deaths = run(go())
+        assert r.via_fallback and r.mode == "software"
+        assert r.attempts == 3  # initial + 2 retries, all dead
+        assert retries == 2 and deaths == 3
+        expect = get_workload("match").run("AB", "ABAB" * 8, AB,
+                                           engine="oracle")
+        assert r.results == expect
+
+    def test_deadline_sheds_stalled_worker(self):
+        """A stuck worker cannot wedge the drain: the deadline fires,
+        the job completes degraded, and the late reply is dropped."""
+
+        async def go():
+            async with AsyncMatcherService(
+                1, AB,
+                faults=FaultInjector(seed=3, p_stuck=1.0,
+                                     stuck_beats=(500, 500)),
+                config=RuntimeConfig(stuck_stall_s=0.002),  # 1s stall
+            ) as svc:
+                jid = await svc.submit("AB", "ABAB" * 4, timeout=0.2)
+                r = await svc.result(jid)
+                stats = svc.stats()
+                return r, stats
+
+        r, stats = run(go())
+        assert r.timed_out and r.via_fallback
+        assert stats["timeouts"] == 1
+        expect = get_workload("match").run("AB", "ABAB" * 4, AB,
+                                           engine="oracle")
+        assert r.results == expect
+
+    def test_timeout_validation(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            with pytest.raises(ServiceError):
+                await svc.submit("AB", "ABAB", timeout=0.0)
+
+        run(go())
+
+
+class TestAdmission:
+    def test_rate_limit_suspends_submitter(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(
+                pool=shared_pool,
+                config=RuntimeConfig(rate_limits={"slow": (10.0, 2)}),
+            )
+            await svc.start()
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await svc.submit_many("AB", ["ABAB"] * 5, tenant="slow")
+            elapsed = loop.time() - t0
+            await svc.drain()
+            return elapsed, svc.limiter.waits
+
+        elapsed, waits = run(go())
+        # Beyond the burst of 2, submits had to wait for 10/s tokens.
+        assert waits >= 1
+        assert elapsed >= 0.08
+
+    def test_saturation_degrades_to_oracle(self):
+        async def go():
+            async with AsyncMatcherService(
+                1, AB,
+                faults=FaultInjector(seed=3, p_stuck=1.0,
+                                     stuck_beats=(200, 200)),
+                config=RuntimeConfig(max_pending=1, stuck_stall_s=0.002),
+            ) as svc:
+                a = await svc.submit("AB", "ABAB" * 4)   # occupies the pool
+                b = await svc.submit("AB", "ABBA" * 4)   # sheds to oracle
+                rb = await svc.result(b)
+                ra = await svc.result(a)
+                return ra, rb, svc.backpressure_hits
+
+        ra, rb, hits = run(go())
+        assert hits == 1
+        assert rb.via_fallback and rb.mode == "software"
+        assert rb.results == get_workload("match").run(
+            "AB", "ABBA" * 4, AB, engine="oracle"
+        )
+        assert ra.results == get_workload("match").run(
+            "AB", "ABAB" * 4, AB, engine="oracle"
+        )
+
+    def test_saturation_rejects_when_degrade_off(self):
+        async def go():
+            async with AsyncMatcherService(
+                1, AB,
+                faults=FaultInjector(seed=3, p_stuck=1.0,
+                                     stuck_beats=(200, 200)),
+                config=RuntimeConfig(
+                    max_pending=1, stuck_stall_s=0.002,
+                    degrade_when_saturated=False,
+                ),
+            ) as svc:
+                await svc.submit("AB", "ABAB" * 4)
+                with pytest.raises(BackpressureError):
+                    await svc.submit("AB", "ABBA" * 4)
+                await svc.drain()
+
+        run(go())
+
+
+class TestApi:
+    def test_submit_before_start_raises(self):
+        async def go():
+            svc = AsyncMatcherService(1, AB)
+            with pytest.raises(ServiceError):
+                await svc.submit("AB", "ABAB")
+
+        run(go())
+
+    def test_stream_results_completion_order(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            jids = await svc.submit_many("AB", ["ABAB" * 20] * 5)
+            seen = [r.job_id async for r in svc.stream_results(jids)]
+            return set(seen), len(seen)
+
+        seen, n = run(go())
+        assert n == 5 and len(seen) == 5
+
+    def test_drain_returns_job_id_order(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            await svc.submit_many("AB", ["AB" * k for k in (9, 3, 6)])
+            results = await svc.drain()
+            return [r.job_id for r in results]
+
+        order = run(go())
+        assert order == sorted(order)
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            RuntimeConfig(max_pending=0)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(max_retries=-1)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(default_timeout_s=0.0)
+        with pytest.raises(ServiceError):
+            RuntimeConfig(stuck_stall_s=-1.0)
+
+    def test_unknown_job_id(self, shared_pool):
+        async def go():
+            svc = AsyncMatcherService(pool=shared_pool)
+            await svc.start()
+            with pytest.raises(ServiceError):
+                await svc.result(999)
+
+        run(go())
+
+
+class TestObservability:
+    def test_worker_spans_and_metrics_merge_back(self):
+        async def go():
+            obs = Observability()
+            async with AsyncMatcherService(2, AB, obs=obs) as svc:
+                await svc.submit_many("AXC", ["ABCDABCA" * 10] * 4)
+                await svc.drain()
+            return obs
+
+        obs = run(go())
+        spans = obs.tracer.to_dict()["spans"]
+        jobs = [s for s in spans if s["name"] == "runtime.job"]
+        kernels = [s for s in spans if s["name"] == "worker.kernel"]
+        assert len(jobs) == 4 and len(kernels) == 4
+        job_ids = {s["span_id"] for s in jobs}
+        # Every worker-process kernel span was re-parented under the
+        # host-side runtime.job span it served.
+        assert all(k["parent_id"] in job_ids for k in kernels)
+        snap = obs.registry.snapshot()
+        worker_jobs = sum(
+            row["value"] for row in snap.get("runtime.worker.jobs", [])
+        )
+        assert worker_jobs == 4
+        assert "runtime.pool.dispatched" in snap

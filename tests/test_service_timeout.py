@@ -1,0 +1,125 @@
+"""Per-job deadline (``timeout=``) tests for the synchronous farm.
+
+The SLO contract: a launch whose projected finish (worker service time,
+stuck-beat penalties, bus queueing, or a mid-stream death) would land
+past the job's deadline is never committed to a worker -- the shard is
+served degraded from the host oracle instead, flagged ``timed_out``,
+and the drain can never be wedged past the deadline by a slow worker."""
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.chip.chip import ChipSpec
+from repro.errors import ServiceError
+from repro.host.bus import HostSpec
+from repro.service.pool import uniform_pool
+from repro.service.reliability import FaultInjector
+from repro.service.scheduler import SharedBus
+from repro.service.service import MatcherService
+from repro.workloads.registry import get_workload
+
+AB = Alphabet("ABCD")
+TEXT = "ABCAACACCAB" * 40
+
+
+def make_service(**kw):
+    return MatcherService(uniform_pool(4, ChipSpec(8, 2), AB), **kw)
+
+
+class TestBusEta:
+    def test_eta_is_a_pure_peek(self):
+        bus = SharedBus()
+        eta = bus.eta(1000, 5.0)
+        assert bus.free_at == 0.0 and bus.chars_moved == 0
+        assert eta == bus.reserve(1000, 5.0)
+
+    def test_eta_accounts_for_queue(self):
+        bus = SharedBus()
+        free_before = bus.reserve(1000, 0.0)
+        # A queued bus pushes the projected completion past now+duration.
+        assert bus.eta(10, 0.0) == free_before + 10 * bus.per_char_beats
+        assert bus.eta(0, free_before + 3.0) == free_before + 3.0
+
+    def test_eta_rejects_negative(self):
+        with pytest.raises(ServiceError):
+            SharedBus().eta(-1, 0.0)
+
+
+class TestSubmitTimeout:
+    def test_tight_deadline_serves_degraded_and_correct(self):
+        svc = make_service()
+        svc.submit("AXC", TEXT, timeout=5.0)  # a handful of beats: hopeless
+        (res,) = svc.drain()
+        assert res.timed_out and res.via_fallback and res.mode == "software"
+        assert res.finished_beat > 0
+        assert svc.telemetry.timeouts >= 1
+        expect = get_workload("match").run("AXC", TEXT, AB, engine="oracle")
+        assert res.results == expect
+
+    def test_generous_deadline_runs_on_workers(self):
+        svc = make_service()
+        svc.submit("AXC", TEXT, timeout=1e12)
+        (res,) = svc.drain()
+        assert not res.timed_out and not res.via_fallback
+        assert res.workers  # a real worker served it
+        assert svc.telemetry.timeouts == 0
+
+    def test_no_timeout_is_the_default(self):
+        svc = make_service()
+        svc.submit("AXC", TEXT)
+        (res,) = svc.drain()
+        assert not res.timed_out
+        assert svc.telemetry.timeouts == 0
+
+    def test_timeout_must_be_positive(self):
+        svc = make_service()
+        with pytest.raises(ServiceError):
+            svc.submit("AXC", TEXT, timeout=0)
+        with pytest.raises(ServiceError):
+            svc.submit("AXC", TEXT, timeout=-3.0)
+
+    def test_submit_many_threads_timeout_through(self):
+        svc = make_service()
+        svc.submit_many("AXC", [TEXT, TEXT], timeout=5.0)
+        results = svc.drain()
+        assert len(results) == 2
+        assert all(r.timed_out for r in results)
+
+    def test_kernel_workload_timeout_finalizes_correctly(self):
+        stream = [float((i * 13) % 7) for i in range(300)]
+        svc = make_service()
+        svc.submit([0.5, 1.0, 0.5], stream, workload="fir", timeout=5.0)
+        (res,) = svc.drain()
+        assert res.timed_out and res.via_fallback
+        expect = get_workload("fir").run([0.5, 1.0, 0.5], stream, None,
+                                         engine="oracle")
+        assert res.results == expect
+
+    def test_stuck_worker_cannot_wedge_the_deadline(self):
+        """Stuck-beat faults inflate the projected finish; a job whose
+        SLO they would blow is rerouted before launch."""
+        svc = make_service(
+            faults=FaultInjector(seed=5, p_stuck=1.0,
+                                 stuck_beats=(10_000, 10_000)),
+        )
+        svc.submit("AXC", TEXT, timeout=6_000.0)
+        (res,) = svc.drain()
+        assert res.timed_out and res.via_fallback
+        assert res.results == get_workload("match").run(
+            "AXC", TEXT, AB, engine="oracle"
+        )
+
+    def test_mixed_deadlines_drain_cleanly(self):
+        """Timed-out and normal jobs interleave without stalling the
+        scheduler (regression: inline completions used to trip the
+        stall detector)."""
+        svc = make_service()
+        for k in range(6):
+            svc.submit("AXC", TEXT, timeout=5.0 if k % 2 else None)
+        results = svc.drain()
+        assert len(results) == 6
+        expect = get_workload("match").run("AXC", TEXT, AB, engine="oracle")
+        for r in results:
+            assert r.results == expect
+        assert sum(r.timed_out for r in results) == 3
+        assert svc.telemetry.completed == 6
