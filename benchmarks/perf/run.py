@@ -2,7 +2,7 @@
 
 Times the layers the event-driven settle and the packed-word fast path
 accelerate, checks each against its slow reference bit for bit, and
-writes the numbers to ``BENCH_pr6.json`` so CI can diff runs:
+writes the numbers to ``BENCH_pr7.json`` so CI can diff runs:
 
 * ``circuit_settle`` -- the switch-level matcher (``GateLevelMatcher``)
   driven by the event engine vs :func:`repro.circuit.simulator.settle_reference`,
@@ -24,6 +24,18 @@ writes the numbers to ``BENCH_pr6.json`` so CI can diff runs:
   with 1 worker process vs N, real wall-clock speedup on multi-core
   machines (recorded but not asserted on single-core boxes; pass
   ``--require-scaling`` to make CI fail under 1.5x on >=2 cores).
+* ``batched_kernels`` -- the multi-job kernels (pattern banks and the
+  one-pattern x many-streams ``*_many`` family) vs a loop of the
+  per-job fast kernels, identical rows required.
+* ``batched_service`` -- the farm's coalescing ``submit_many`` batch
+  tier vs per-job ``submit`` of the same jobs; the >=5x amortization
+  target of the batch tier lives here.
+* ``cache_hit_rate`` -- a warm pass over the cross-tenant result cache
+  vs the cold pass that populated it, hits byte-identical.
+* ``vector_settle`` -- :class:`repro.circuit.VectorizedCircuits`
+  stepping a batch of identical netlists as one array program vs a
+  loop of per-instance ``settle_reference``, same values and pass
+  counts.
 
 Run::
 
@@ -350,6 +362,265 @@ def bench_runtime_scaling(quick: bool) -> Dict[str, object]:
     }
 
 
+def bench_batched_kernels(quick: bool) -> Dict[str, object]:
+    """Multi-job kernels vs a loop of the per-job fast kernels."""
+    from repro.core.fastpath import (
+        FastMatcherBank,
+        fast_inner_products,
+        fast_inner_products_many,
+        fast_match_many,
+    )
+
+    n = 5_000 if quick else 20_000
+    n_patterns = 16
+    n_texts = 16 if quick else 64
+    text = make_text(n)
+    patterns = [
+        ("ABXC", "AXCA", "BXAC", "XACB")[i % 4] + make_text(2 + i % 3)
+        for i in range(n_patterns)
+    ]
+    texts = [make_text(200 + 13 * i) for i in range(n_texts)]
+    taps = make_samples(8, span=7)
+    streams = [make_samples(200 + 13 * i) for i in range(n_texts)]
+    repeats = 1 if quick else 3
+
+    bank = FastMatcherBank(patterns, AB4)
+    bank_s, bank_out = _timed(lambda: bank.match_all(text), repeats)
+    loops = [FastMatcher(p, AB4) for p in patterns]
+    loop_s, loop_out = _timed(lambda: [m.match(text) for m in loops], repeats)
+
+    many_s, many_out = _timed(
+        lambda: fast_match_many(patterns[0], texts, AB4), repeats
+    )
+    one = FastMatcher(patterns[0], AB4)
+    one_s, one_out = _timed(lambda: [one.match(t) for t in texts], repeats)
+
+    nmany_s, nmany_out = _timed(
+        lambda: fast_inner_products_many(taps, streams), repeats
+    )
+    nloop_s, nloop_out = _timed(
+        lambda: [fast_inner_products(taps, s) for s in streams], repeats
+    )
+
+    bank_speedup = loop_s / bank_s if bank_s > 0 else float("inf")
+    many_speedup = one_s / many_s if many_s > 0 else float("inf")
+    numeric_speedup = nloop_s / nmany_s if nmany_s > 0 else float("inf")
+    return {
+        "patterns": n_patterns,
+        "text_chars": n,
+        "batch_texts": n_texts,
+        "bank_s": bank_s,
+        "bank_loop_s": loop_s,
+        "bank_speedup": bank_speedup,
+        "many_s": many_s,
+        "many_loop_s": one_s,
+        "many_speedup": many_speedup,
+        "numeric_many_s": nmany_s,
+        "numeric_loop_s": nloop_s,
+        "numeric_speedup": numeric_speedup,
+        "meets_target": bank_speedup >= 2.0,
+        "equivalent": bank_out == loop_out and many_out == one_out
+        and nmany_out == nloop_out,
+    }
+
+
+def bench_batched_service(quick: bool) -> Dict[str, object]:
+    """The farm's coalescing batch tier vs per-job submission.
+
+    A batchable load -- many narrow, distinct match jobs -- is drained
+    through identical farms twice: per-job ``submit`` (one parse, one
+    scheduling round trip, one kernel call per job -- the BENCH_pr5
+    ``workload_service`` regime) and through ``submit_many``'s batch
+    planner (one parse per call, one queue entry and one multi-job
+    kernel call per chunk).  Reported both ways:
+
+    * ``in_run_speedup`` -- wall-clock ratio of the two passes on this
+      box (the shared per-member completion bookkeeping bounds it);
+    * ``jobs_per_s`` vs the recorded BENCH_pr5 ``workload_service``
+      per-job farm throughput -- the batch tier's headline number, which
+      ``meets_target`` asserts at >=5x (``meets_10x`` records the
+      stretch goal) when the baseline file is present.
+
+    The queue is sized so neither pass degrades to the software
+    fallback; ``equivalent`` also asserts that.
+    """
+    from repro.service import SchedulerConfig
+
+    pattern = "ABXA"
+    n_jobs = 64 if quick else 256
+    doc_chars = 200 if quick else 300
+    repeats = 1 if quick else 3
+    texts = [
+        make_text(doc_chars + (i % 50)) + "ABCD"[i % 4]
+        for i in range(n_jobs)
+    ]
+    parsed = PatternMatcher(pattern, AB4).pattern
+    oracles = [match_oracle(parsed, list(t)) for t in texts]
+    config = SchedulerConfig(queue_capacity=4 * n_jobs)
+
+    def per_job_pass():
+        svc = MatcherService(uniform_pool(8, ChipSpec(16, 2), AB4),
+                             config=config)
+        ids = [svc.submit(pattern, t) for t in texts]
+        return ids, svc.drain(), svc
+
+    def batched_pass():
+        svc = MatcherService(uniform_pool(8, ChipSpec(16, 2), AB4),
+                             config=config)
+        ids = svc.submit_many(pattern, texts)
+        return ids, svc.drain(), svc
+
+    per_s, (per_ids, per_results, _) = _timed(per_job_pass, repeats)
+    batch_s, (batch_ids, batch_results, batch_svc) = _timed(
+        batched_pass, repeats
+    )
+
+    ok = all(
+        batch_results[bid].results == per_results[pid].results == want
+        and not per_results[pid].via_fallback
+        and not batch_results[bid].via_fallback
+        for bid, pid, want in zip(batch_ids, per_ids, oracles)
+    )
+    jobs_per_s = n_jobs / batch_s if batch_s > 0 else float("inf")
+    in_run = per_s / batch_s if batch_s > 0 else float("inf")
+    out: Dict[str, object] = {
+        "jobs": n_jobs,
+        "chars_per_job": doc_chars,
+        "per_job_wall_s": per_s,
+        "batched_wall_s": batch_s,
+        "per_job_jobs_per_s": n_jobs / per_s
+        if per_s > 0 else float("inf"),
+        "batched_jobs_per_s": jobs_per_s,
+        "batches": batch_svc.telemetry.batches,
+        "in_run_speedup": in_run,
+        "equivalent": ok,
+    }
+    try:
+        with open("BENCH_pr5.json") as fh:
+            pr5 = json.load(fh)["workload_service"]["jobs_per_s"]
+    except (OSError, KeyError, ValueError):
+        pr5 = None
+    out["pr5_jobs_per_s"] = pr5
+    if pr5:
+        ratio = jobs_per_s / pr5
+        out["vs_pr5_speedup"] = ratio
+        out["meets_target"] = ratio >= 5.0
+        out["meets_10x"] = ratio >= 10.0
+    else:
+        out["meets_target"] = in_run >= 2.0
+    return out
+
+
+def bench_cache_hit_rate(quick: bool) -> Dict[str, object]:
+    """Warm cross-tenant cache pass vs the cold pass that filled it."""
+    from repro.service import ResultCache
+
+    pattern = "ABXA"
+    n_jobs = 64 if quick else 128
+    doc_chars = 1_024
+    texts = [make_text(doc_chars + i) for i in range(n_jobs)]
+    parsed = PatternMatcher(pattern, AB4).pattern
+
+    cache = ResultCache()
+    svc = MatcherService(uniform_pool(8, ChipSpec(16, 2), AB4), cache=cache)
+
+    def run_pass(tenant):
+        ids = svc.submit_many(pattern, texts, tenant=tenant)
+        return ids, svc.drain()
+
+    cold_s, (cold_ids, cold_results) = _timed(lambda: run_pass("cold"))
+    warm_s, (warm_ids, warm_results) = _timed(lambda: run_pass("warm"))
+
+    ok = all(
+        warm_results[wid].results == cold_results[cid].results
+        == match_oracle(parsed, list(t))
+        and warm_results[wid].mode == "cached"
+        for wid, cid, t in zip(warm_ids, cold_ids, texts)
+    )
+    stats = cache.stats()
+    warm_hit_rate = stats["hits"] / n_jobs
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "jobs": n_jobs,
+        "chars_per_job": doc_chars,
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "warm_hit_rate": warm_hit_rate,
+        "speedup": speedup,
+        "meets_target": warm_hit_rate >= 0.99 and speedup >= 2.0,
+        "equivalent": ok,
+    }
+
+
+def bench_vector_settle(quick: bool) -> Dict[str, object]:
+    """Batch-stepping identical netlists vs per-instance reference."""
+    from repro.circuit import HIGH, LOW, Circuit, VectorizedCircuits
+    from repro.circuit.gates import inverter, nand2
+    from repro.circuit.simulator import settle_reference
+
+    B = 64 if quick else 128
+    rounds = 4 if quick else 8
+
+    def make():
+        c = Circuit("cell")
+        nand2(c, "a", "b", "m")
+        inverter(c, "m", "p")
+        nand2(c, "p", "a", "q")
+        inverter(c, "q", "y")
+        return c
+
+    stim = [
+        (make_text(B, "01"), make_text(B + 1, "01")[:B])
+        for _ in range(rounds)
+    ]
+
+    refs = [make() for _ in range(B)]
+
+    def drive_refs():
+        counts = []
+        for bits_a, bits_b in stim:
+            for c, xa, xb in zip(refs, bits_a, bits_b):
+                c.set_input("a", HIGH if xa == "1" else LOW)
+                c.set_input("b", HIGH if xb == "1" else LOW)
+                counts.append(settle_reference(c))
+        return counts, [c.read("y") for c in refs]
+
+    ref_s, (ref_counts, ref_y) = _timed(drive_refs)
+
+    batch = VectorizedCircuits([make() for _ in range(B)])
+
+    def drive_batch():
+        counts = []
+        for bits_a, bits_b in stim:
+            batch.set_input("a", [HIGH if x == "1" else LOW for x in bits_a])
+            batch.set_input("b", [HIGH if x == "1" else LOW for x in bits_b])
+            counts.extend(batch.settle())
+        return counts, batch.read("y")
+
+    vec_s, (vec_counts, vec_y) = _timed(drive_batch)
+
+    # Reference counts interleave per-round; regroup for comparison.
+    ref_grouped = [
+        ref_counts[r * B:(r + 1) * B] for r in range(rounds)
+    ]
+    vec_grouped = [
+        vec_counts[r * B:(r + 1) * B] for r in range(rounds)
+    ]
+    ok = ref_grouped == vec_grouped and ref_y == vec_y
+    speedup = ref_s / vec_s if vec_s > 0 else float("inf")
+    return {
+        "instances": B,
+        "rounds": rounds,
+        "reference_loop_s": ref_s,
+        "vectorized_s": vec_s,
+        "speedup": speedup,
+        "meets_target": speedup >= 2.0,
+        "equivalent": ok,
+    }
+
+
 def bench_obs_overhead(quick: bool, bound: float = 3.0) -> Dict[str, object]:
     """Observability cost on the two hot paths.
 
@@ -440,7 +711,7 @@ def main(argv: List[str] = None) -> int:
         help="small inputs for CI smoke runs (equivalence still checked)",
     )
     ap.add_argument(
-        "--out", default="BENCH_pr6.json", help="output JSON path"
+        "--out", default="BENCH_pr7.json", help="output JSON path"
     )
     ap.add_argument(
         "--sections", default=None, metavar="A,B,...",
@@ -479,6 +750,10 @@ def main(argv: List[str] = None) -> int:
         ("workload_kernels", bench_workload_kernels),
         ("workload_service", bench_workload_service),
         ("runtime_scaling", bench_runtime_scaling),
+        ("batched_kernels", bench_batched_kernels),
+        ("batched_service", bench_batched_service),
+        ("cache_hit_rate", bench_cache_hit_rate),
+        ("vector_settle", bench_vector_settle),
         ("obs_overhead",
          lambda quick: bench_obs_overhead(quick, args.obs_bound)),
     ]

@@ -130,14 +130,20 @@ class Alphabet:
         return ch
 
     def validate_text(self, text: Iterable[str]) -> List[str]:
-        """Validate every character of *text*; return it as a list."""
-        index = self._index
+        """Validate every character of *text*; return it as a list.
+
+        Membership is checked as one set difference (C speed) rather
+        than a per-character Python loop; the loop only runs to locate
+        the first stray character for the error message.
+        """
         chars = list(text)
-        for c in chars:
-            if c not in index:
-                raise AlphabetError(
-                    f"{c!r} is not in alphabet {self!r}"
-                ) from None
+        stray = set(chars) - self._index.keys()
+        if stray:
+            for c in chars:
+                if c in stray:
+                    raise AlphabetError(
+                        f"{c!r} is not in alphabet {self!r}"
+                    ) from None
         return chars
 
     # -- binary encoding (Figure 3-4: high-order bit enters first) --------

@@ -19,12 +19,15 @@ subpackage reproduces that technology level:
 * :mod:`repro.circuit.cells` -- the positive and negative comparator and
   accumulator cells;
 * :mod:`repro.circuit.chipnet` -- whole-array netlists and the gate-level
-  matcher checked against the behavioural model.
+  matcher checked against the behavioural model;
+* :mod:`repro.circuit.vectorsettle` -- the batch tier's vectorized settle:
+  many identical instances stepped as one array program.
 """
 
 from .clocks import TwoPhaseClock
 from .netlist import Circuit, GND, VDD
 from .signals import HIGH, LOW, UNKNOWN, LogicValue
+from .vectorsettle import VectorizedCircuits
 
 __all__ = [
     "Circuit",
@@ -35,4 +38,5 @@ __all__ = [
     "TwoPhaseClock",
     "UNKNOWN",
     "VDD",
+    "VectorizedCircuits",
 ]

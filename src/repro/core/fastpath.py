@@ -41,6 +41,30 @@ the matcher's sliding-window shape:
 
 Each fast kernel is differentially tested against the stepwise
 ``repro.extensions`` cells in ``tests/test_workloads_kernels.py``.
+
+Batched tier (PR 7)
+-------------------
+
+The per-job kernels above still pay Python dispatch once per job.  The
+batched twins amortize that over whole batches, in the two shapes the
+farm actually sees:
+
+* **many patterns x one text** -- :class:`FastMatcherBank` lane-packs
+  every pattern into *one* arbitrary-width Python integer (a spacer bit
+  between lanes absorbs each lane's shift-out), so a single shift-and
+  step advances all patterns per text character.  :class:`FastCounterBank`
+  is the counting twin over a shared code vector.
+* **one pattern x many texts** -- :func:`fast_match_many`,
+  :func:`fast_counts_many`, :func:`fast_inner_products_many` and
+  :func:`fast_squared_distances_many` pad the batch into one
+  ``(batch, max_len)`` numpy matrix and evaluate the window recurrence
+  as ``O(pattern_len)`` vectorized passes over the whole batch, so the
+  per-character Python overhead vanishes entirely.
+
+All batched paths are property-tested equal to the per-job fast kernels
+and the oracles (``tests/test_fastpath_batched.py``), ragged batches and
+empty batches included, and fall back to per-job loops when numpy is
+unavailable.
 """
 
 from __future__ import annotations
@@ -57,8 +81,14 @@ except Exception:  # pragma: no cover - exercised only on stripped installs
 __all__ = [
     "FastMatcher",
     "FastCounter",
+    "FastMatcherBank",
+    "FastCounterBank",
     "fast_inner_products",
     "fast_squared_distances",
+    "fast_match_many",
+    "fast_counts_many",
+    "fast_inner_products_many",
+    "fast_squared_distances_many",
 ]
 
 
@@ -264,4 +294,395 @@ def fast_squared_distances(
     return [0.0] * k + [  # pragma: no cover - stripped-install fallback
         sum((stream[i - k + j] - taps[j]) ** 2 for j in range(L))
         for i in range(k, n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Batched tier: many patterns x one text, one pattern x many texts.
+# ---------------------------------------------------------------------------
+
+#: Per-alphabet byte->symbol-index lookup tables for vectorized text coding
+#: (None when a symbol falls outside latin-1 and the table cannot be built).
+_LUT_CACHE: Dict[Alphabet, Optional[object]] = {}
+
+
+def _symbol_lut(alphabet: Alphabet):
+    """A 256-entry byte->index table for *alphabet*, or None if unbuildable."""
+    if _np is None:
+        return None
+    try:
+        return _LUT_CACHE[alphabet]
+    except KeyError:
+        pass
+    lut = _np.full(256, -1, dtype=_np.int16)
+    for i, s in enumerate(alphabet.symbols):
+        o = ord(s)
+        if o > 255:
+            lut = None
+            break
+        lut[o] = i
+    if len(_LUT_CACHE) > 64:  # unbounded alphabets shouldn't pin memory
+        _LUT_CACHE.clear()
+    _LUT_CACHE[alphabet] = lut
+    return lut
+
+
+def _text_codes(text: Sequence[str], alphabet: Alphabet):
+    """Symbol indices of *text* as an int16 array (AlphabetError on stray)."""
+    lut = _symbol_lut(alphabet)
+    if not isinstance(text, str):
+        try:  # char lists (the validated form) take the fast str path too
+            joined = "".join(text)
+        except TypeError:
+            joined = None
+        if joined is not None and len(joined) == len(text):
+            text = joined
+    if lut is not None and isinstance(text, str):
+        try:
+            raw = text.encode("latin-1")
+        except UnicodeEncodeError:
+            raw = None
+        if raw is not None:
+            codes = lut[_np.frombuffer(raw, dtype=_np.uint8)]
+            if codes.size and int(codes.min()) < 0:
+                bad = int((codes < 0).argmax())
+                alphabet.index(text[bad])  # raises AlphabetError
+            return codes
+    index = alphabet.index
+    return _np.fromiter(
+        (index(c) for c in text), dtype=_np.int16, count=len(text)
+    )
+
+
+def _parse(pattern, alphabet: Alphabet, wildcard_symbol: str) -> List[PatternChar]:
+    if pattern and all(isinstance(pc, PatternChar) for pc in pattern):
+        return list(pattern)
+    return parse_pattern(pattern, alphabet, wildcard_symbol)
+
+
+class FastMatcherBank:
+    """Many patterns, one text: lane-packed multi-pattern shift-and.
+
+    Every pattern gets a contiguous bit lane inside one arbitrary-width
+    Python integer, with a single spacer bit between lanes: when the
+    shared ``state << 1`` pushes a lane's top bit out, it lands on the
+    spacer, which no symbol mask ever sets, so lanes never interfere.
+    ``seed`` re-injects every lane's start bit each character and a
+    single masked shift-and step advances *all* patterns at once --
+    many patterns per word op, the multi-match form of Section 3.4.
+
+    >>> from repro.alphabet import Alphabet
+    >>> bank = FastMatcherBank(["AB", "BX"], Alphabet("ABCD"))
+    >>> bank.match_all("ABC")
+    [[False, True, False], [False, False, True]]
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[object],
+        alphabet: Alphabet,
+        wildcard_symbol: str = "X",
+    ):
+        self.alphabet = alphabet
+        self.patterns: List[List[PatternChar]] = [
+            _parse(p, alphabet, wildcard_symbol) for p in patterns
+        ]
+        seed = 0
+        accept_mask = 0
+        wild_bits = 0
+        lane_of: Dict[int, int] = {}
+        offset = 0
+        offsets: List[int] = []
+        for p, pcs in enumerate(self.patterns):
+            offsets.append(offset)
+            seed |= 1 << offset
+            accept_bit = offset + len(pcs) - 1
+            accept_mask |= 1 << accept_bit
+            lane_of[accept_bit] = p
+            for j, pc in enumerate(pcs):
+                if pc.is_wild:
+                    wild_bits |= 1 << (offset + j)
+            offset += len(pcs) + 1  # +1 spacer absorbs the lane's shift-out
+        masks: Dict[str, int] = {s: wild_bits for s in alphabet.symbols}
+        for p, pcs in enumerate(self.patterns):
+            off = offsets[p]
+            for j, pc in enumerate(pcs):
+                if not pc.is_wild:
+                    masks[pc.char] |= 1 << (off + j)
+        self._masks = masks
+        self._seed = seed
+        self._accept_mask = accept_mask
+        self._lane_of = lane_of
+
+    @property
+    def pattern_strings(self) -> List[str]:
+        return [pattern_to_string(p) for p in self.patterns]
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def match_all(self, text: Sequence[str]) -> List[List[bool]]:
+        """One result list per pattern, each per Section 3.1 semantics."""
+        n = len(text)
+        out: List[List[bool]] = [[False] * n for _ in self.patterns]
+        if not self.patterns:
+            return out
+        masks = self._masks
+        seed = self._seed
+        accept_mask = self._accept_mask
+        lane_of = self._lane_of
+        state = 0
+        ch = None
+        try:
+            for i, ch in enumerate(text):
+                state = ((state << 1) | seed) & masks[ch]
+                hits = state & accept_mask
+                while hits:
+                    low = hits & -hits
+                    out[lane_of[low.bit_length() - 1]][i] = True
+                    hits ^= low
+        except KeyError:
+            self.alphabet.require(ch)
+            raise
+        return out
+
+
+class FastCounterBank:
+    """Many patterns, one text: batched window match-counting.
+
+    Computes every pattern's :class:`FastCounter` result over one shared
+    symbol-code vector: the text is coded once, then each pattern is an
+    ``O(pattern_len)`` sweep of vectorized window compares -- no
+    per-character Python at all.  Falls back to per-pattern
+    :class:`FastCounter` loops when numpy is unavailable.
+
+    >>> from repro.alphabet import Alphabet
+    >>> FastCounterBank(["AB", "BB"], Alphabet("AB")).counts_all("ABBB")
+    [[0, 2, 1, 1], [0, 1, 2, 2]]
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[object],
+        alphabet: Alphabet,
+        wildcard_symbol: str = "X",
+    ):
+        self.alphabet = alphabet
+        self.patterns: List[List[PatternChar]] = [
+            _parse(p, alphabet, wildcard_symbol) for p in patterns
+        ]
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def counts_all(self, text: Sequence[str]) -> List[List[int]]:
+        if _np is None or not self.patterns:  # pragma: no cover - stripped
+            return [
+                FastCounter(p, self.alphabet).counts(text)
+                for p in self.patterns
+            ]
+        codes = _text_codes(text, self.alphabet)
+        n = len(text)
+        index = self.alphabet.index
+        out: List[List[int]] = []
+        for pcs in self.patterns:
+            L = len(pcs)
+            k = L - 1
+            if n < L:
+                out.append([0] * n)
+                continue
+            n_out = n - k
+            cnt = _np.zeros(n_out, dtype=_np.int64)
+            for j, pc in enumerate(pcs):
+                if pc.is_wild:
+                    cnt += 1
+                else:
+                    cnt += codes[j : j + n_out] == index(pc.char)
+            out.append([0] * k + cnt.tolist())
+        return out
+
+
+def _codes_matrix(texts: Sequence[Sequence[str]], alphabet: Alphabet):
+    """Pad a ragged batch of texts into one (batch, max_len) code matrix.
+
+    All-str batches (the form the services ship) are encoded in ONE
+    pass: join, encode, one LUT gather, one boolean scatter into the
+    padded matrix.  Per-text coding only remains for exotic inputs.
+    """
+    lens = [len(t) for t in texts]
+    n_max = max(lens)
+    mat = _np.zeros((len(texts), n_max), dtype=_np.int16)
+    lut = _symbol_lut(alphabet)
+    joined = None
+    if lut is not None:
+        try:  # validated char lists join to the same one-pass form
+            joined = "".join(
+                t if isinstance(t, str) else "".join(t) for t in texts
+            )
+        except TypeError:
+            joined = None
+    if joined is not None and len(joined) == sum(lens):
+        try:
+            raw = joined.encode("latin-1")
+        except UnicodeEncodeError:
+            raw = None
+        if raw is not None:
+            codes = lut[_np.frombuffer(raw, dtype=_np.uint8)]
+            if codes.size and int(codes.min()) < 0:
+                bad = int((codes < 0).argmax())
+                alphabet.index(joined[bad])  # raises AlphabetError
+            # Row-major boolean scatter lines up with the join order.
+            valid = _np.arange(n_max) < _np.asarray(lens)[:, None]
+            mat[valid] = codes
+            return mat, lens
+    for b, t in enumerate(texts):
+        if lens[b]:
+            mat[b, : lens[b]] = _text_codes(t, alphabet)
+    return mat, lens
+
+
+def fast_match_many(
+    pattern,
+    texts: Sequence[Sequence[str]],
+    alphabet: Alphabet,
+    wildcard_symbol: str = "X",
+) -> List[List[bool]]:
+    """One pattern over many texts as vectorized batch-matrix passes.
+
+    The shift-and recurrence is sequential per text, but the windowed
+    *definition* is not: ``result[i] = all_j(p[j] ~ text[i-k+j])``.  Over
+    a padded ``(batch, max_len)`` code matrix that AND-chain is just
+    ``len(pattern)`` vectorized equality passes -- every text advances in
+    the same numpy op.  Padded tails never leak: each row is truncated
+    back to its own length on extraction.
+
+    >>> from repro.alphabet import Alphabet
+    >>> fast_match_many("AB", ["ABC", "AB", "C"], Alphabet("ABCD"))
+    [[False, True, False], [False, True], [False]]
+    """
+    pcs = _parse(pattern, alphabet, wildcard_symbol)
+    if not texts:
+        return []
+    if _np is None:  # pragma: no cover - stripped-install fallback
+        m = FastMatcher(pcs, alphabet)
+        return [m.match(t) for t in texts]
+    L = len(pcs)
+    k = L - 1
+    mat, lens = _codes_matrix(texts, alphabet)
+    n_out = mat.shape[1] - k
+    if n_out <= 0:
+        return [[False] * n for n in lens]
+    res = _np.ones((len(texts), n_out), dtype=bool)
+    index = alphabet.index
+    for j, pc in enumerate(pcs):
+        if not pc.is_wild:
+            res &= mat[:, j : j + n_out] == index(pc.char)
+    return [
+        [False] * n if n < L else [False] * k + res[b, : n - k].tolist()
+        for b, n in enumerate(lens)
+    ]
+
+
+def fast_counts_many(
+    pattern,
+    texts: Sequence[Sequence[str]],
+    alphabet: Alphabet,
+    wildcard_symbol: str = "X",
+) -> List[List[int]]:
+    """One pattern's match counts over many texts (batched FastCounter).
+
+    >>> from repro.alphabet import Alphabet
+    >>> fast_counts_many("AB", ["ABBB", "AA"], Alphabet("AB"))
+    [[0, 2, 1, 1], [0, 1]]
+    """
+    pcs = _parse(pattern, alphabet, wildcard_symbol)
+    if not texts:
+        return []
+    if _np is None:  # pragma: no cover - stripped-install fallback
+        c = FastCounter(pcs, alphabet)
+        return [c.counts(t) for t in texts]
+    L = len(pcs)
+    k = L - 1
+    mat, lens = _codes_matrix(texts, alphabet)
+    n_out = mat.shape[1] - k
+    if n_out <= 0:
+        return [[0] * n for n in lens]
+    cnt = _np.zeros((len(texts), n_out), dtype=_np.int64)
+    index = alphabet.index
+    for j, pc in enumerate(pcs):
+        if pc.is_wild:
+            cnt += 1
+        else:
+            cnt += mat[:, j : j + n_out] == index(pc.char)
+    return [
+        [0] * n if n < L else [0] * k + cnt[b, : n - k].tolist()
+        for b, n in enumerate(lens)
+    ]
+
+
+def _numeric_matrix(streams: Sequence[Sequence[float]]):
+    lens = [len(s) for s in streams]
+    n_max = max(lens)
+    mat = _np.zeros((len(streams), n_max), dtype=float)
+    for b, s in enumerate(streams):
+        if lens[b]:
+            mat[b, : lens[b]] = _np.asarray(s, dtype=float)
+    return mat, lens
+
+
+def fast_inner_products_many(
+    weights: Sequence[float], streams: Sequence[Sequence[float]]
+) -> List[List[float]]:
+    """Sliding-window inner products of one tap vector over many streams.
+
+    One batched matmul over the padded window view replaces the per-job
+    loop; rows are truncated back to their own lengths so ragged batches
+    agree element-for-element with :func:`fast_inner_products`.
+
+    >>> fast_inner_products_many([1.0, 2.0], [[1.0, 1.0, 1.0], [2.0]])
+    [[0.0, 3.0, 3.0], [0.0]]
+    """
+    L = len(weights)
+    if L == 0:
+        raise ValueError("weights must be non-empty")
+    if not streams:
+        return []
+    if _np is None:  # pragma: no cover - stripped-install fallback
+        return [fast_inner_products(weights, s) for s in streams]
+    k = L - 1
+    mat, lens = _numeric_matrix(streams)
+    if mat.shape[1] < L:
+        return [[0.0] * n for n in lens]
+    windows = _np.lib.stride_tricks.sliding_window_view(mat, L, axis=1)
+    body = windows @ _np.asarray(weights, dtype=float)
+    return [
+        [0.0] * n if n < L else [0.0] * k + body[b, : n - k].tolist()
+        for b, n in enumerate(lens)
+    ]
+
+
+def fast_squared_distances_many(
+    taps: Sequence[float], streams: Sequence[Sequence[float]]
+) -> List[List[float]]:
+    """Sliding-window squared distances of one tap vector over many streams.
+
+    >>> fast_squared_distances_many([1.0, 3.0], [[1.0, 3.0, 5.0], [3.0, 3.0]])
+    [[0.0, 0.0, 8.0], [0.0, 4.0]]
+    """
+    L = len(taps)
+    if L == 0:
+        raise ValueError("taps must be non-empty")
+    if not streams:
+        return []
+    if _np is None:  # pragma: no cover - stripped-install fallback
+        return [fast_squared_distances(taps, s) for s in streams]
+    k = L - 1
+    mat, lens = _numeric_matrix(streams)
+    if mat.shape[1] < L:
+        return [[0.0] * n for n in lens]
+    windows = _np.lib.stride_tricks.sliding_window_view(mat, L, axis=1)
+    body = ((windows - _np.asarray(taps, dtype=float)) ** 2).sum(axis=2)
+    return [
+        [0.0] * n if n < L else [0.0] * k + body[b, : n - k].tolist()
+        for b, n in enumerate(lens)
     ]

@@ -91,6 +91,12 @@ class JobRequest:
     dying mid-job (no results come back), a positive ``stall_s`` makes
     it sit on the job (a stuck/hung worker) before answering.  Faults
     are directives, not randomness, so runs stay deterministic per seed.
+
+    When ``streams`` is set the request is a *batch plan*: one taps
+    vector, many prepared streams, answered by the workload's batched
+    kernel in a single crossing (``stream`` is ignored).  ``job_id`` is
+    then the batch id and the reply comes back in ``results_many``,
+    one window-space row list per stream, in order.
     """
 
     job_id: int
@@ -101,6 +107,7 @@ class JobRequest:
     collect_obs: bool = False
     fault: Optional[str] = None
     stall_s: float = 0.0
+    streams: Optional[list] = None  # batch plan: many streams, one taps
 
 
 @dataclass
@@ -123,3 +130,4 @@ class JobReply:
     died: bool = False
     metrics: Optional[Dict[str, List[dict]]] = None
     spans: Optional[List[dict]] = field(default=None)
+    results_many: Optional[list] = None  # batch plan answer, stream order

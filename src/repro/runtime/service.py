@@ -38,6 +38,7 @@ from typing import AsyncIterator, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..alphabet import Alphabet
 from ..errors import BackpressureError, ServiceError
+from ..service.cache import ResultCache, canonical_params, result_cache_key
 from ..service.reliability import (
     FaultInjector,
     FaultKind,
@@ -66,6 +67,8 @@ class RuntimeConfig:
     fault is still counted).
     ``rate_limits``: tenant -> (jobs/s, burst) token-bucket specs;
     ``default_rate_limit`` applies to unlisted tenants.
+    ``max_batch_jobs``: the most jobs :meth:`AsyncMatcherService.submit_many`
+    coalesces into one wire crossing (one batched-kernel call per chunk).
     """
 
     max_pending: int = 256
@@ -77,6 +80,7 @@ class RuntimeConfig:
         default_factory=dict
     )
     default_rate_limit: Optional[Tuple[float, float]] = None
+    max_batch_jobs: int = 32
 
     def __post_init__(self):
         if self.max_pending <= 0:
@@ -87,6 +91,8 @@ class RuntimeConfig:
             raise ServiceError("default_timeout_s must be positive")
         if self.stuck_stall_s < 0:
             raise ServiceError("stuck_stall_s cannot be negative")
+        if self.max_batch_jobs <= 0:
+            raise ServiceError("max_batch_jobs must be positive")
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,7 @@ class _Job:
         "job_id", "tenant", "priority", "workload", "spec", "taps",
         "stream", "orig_len", "deadline", "submitted_s", "started_s",
         "attempts", "future", "span", "done", "timed_out", "timer",
+        "cache_key", "batch",
     )
 
     def __init__(
@@ -147,6 +154,25 @@ class _Job:
         self.done = False
         self.timed_out = False
         self.timer: Optional[asyncio.TimerHandle] = None
+        self.cache_key: Optional[tuple] = None
+        self.batch: Optional["_Batch"] = None
+
+
+class _Batch:
+    """One coalesced dispatch unit from :meth:`submit_many`: several
+    compatible jobs (same workload + taps), one wire request, one fault
+    sample, whole-batch retry."""
+
+    __slots__ = ("batch_id", "workload", "taps", "members", "dispatched",
+                 "attempts")
+
+    def __init__(self, batch_id: int, workload: str, taps, members):
+        self.batch_id = batch_id
+        self.workload = workload
+        self.taps = taps
+        self.members: List[_Job] = members
+        self.dispatched: List[_Job] = members  # stream order, per attempt
+        self.attempts = 0
 
 
 class AsyncMatcherService:
@@ -167,6 +193,7 @@ class AsyncMatcherService:
         faults: Optional[FaultInjector] = None,
         obs=None,
         pool: Optional[WorkerPool] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.config = config or RuntimeConfig()
         self.pool = pool if pool is not None else WorkerPool(
@@ -191,12 +218,21 @@ class AsyncMatcherService:
         self._m_timeouts = r.counter("runtime.timeouts")
         self._m_backpressure = r.counter("runtime.backpressure_hits")
         self._m_stale = r.counter("runtime.stale_replies")
+        self._m_batches = r.counter("runtime.batches")
+        self._m_batched_jobs = r.counter("runtime.jobs.batched")
+        self._m_deduped = r.counter("runtime.jobs.deduped")
         self._h_latency = r.histogram("runtime.job.latency_s")
+        # Optional cross-tenant result cache (shared with the sync farm's
+        # key scheme, so a farm-warmed cache serves runtime traffic and
+        # vice versa).  Its ``now`` domain here is runtime seconds.
+        self.cache = cache
         self.limiter = RateLimiter(
             self.config.rate_limits, self.config.default_rate_limit
         )
         self._jobs: Dict[int, _Job] = {}
         self._completed: Dict[int, RuntimeResult] = {}
+        self._batches: Dict[int, _Batch] = {}
+        self._followers: Dict[int, List[_Job]] = {}
         self._next_id = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._t0 = time.perf_counter()
@@ -286,6 +322,19 @@ class AsyncMatcherService:
             self._complete(job, [], mode="empty", worker=None,
                            via_fallback=False)
             return job_id
+        job.cache_key = result_cache_key(
+            workload, taps, validated, spec.numeric
+        )
+        if self.cache is not None:
+            hit = self.cache.get(
+                job.cache_key, tenant=tenant, now=self._now()
+            )
+            if hit is not None:
+                job.started_s = self._now()
+                self._jobs[job_id] = job
+                self._complete(job, hit, mode="cached", worker=None,
+                               via_fallback=False)
+                return job_id
         if len(self._jobs) >= self.config.max_pending:
             self._m_backpressure.inc()
             if not self.config.degrade_when_saturated:
@@ -320,14 +369,128 @@ class AsyncMatcherService:
         workload: str = "match",
         timeout: Optional[float] = None,
     ) -> List[int]:
-        """Admit one job per stream (rate limits apply per job)."""
-        return [
-            await self.submit(
-                params, s, tenant=tenant, priority=priority,
-                workload=workload, timeout=timeout,
+        """Admit one job per stream, coalescing compatible work.
+
+        The params are parsed **once**; each stream then takes the
+        cheapest route that still yields an oracle-identical result:
+        empty streams complete immediately; streams whose canonical
+        answer sits in the :class:`~repro.service.cache.ResultCache`
+        complete from it (``mode="cached"``); duplicate streams share
+        one execution (the first occurrence is the representative,
+        later ones complete as followers, ``mode="deduped"``); the rest
+        are coalesced into batch plans of at most
+        ``config.max_batch_jobs`` jobs, each plan one wire crossing
+        answered by the worker's batched kernel (``mode="batched"``).
+        Rate limits still apply per job, and each member keeps its own
+        SLO deadline: a member that times out is served degraded and
+        its slice of any late batch reply is dropped.
+        """
+        if not self._started:
+            raise ServiceError(
+                "service not started (use 'async with' or await start())"
             )
-            for s in streams
-        ]
+        if timeout is not None and timeout <= 0:
+            raise ServiceError("timeout must be positive")
+        spec = get_workload(workload)
+        taps = spec.parse_params(params, self.alphabet)
+        timeout_s = timeout if timeout is not None \
+            else self.config.default_timeout_s
+        job_ids: List[int] = []
+        reps: Dict[tuple, _Job] = {}
+        batchable: List[_Job] = []
+
+        def flush() -> None:
+            step = self.config.max_batch_jobs
+            for i in range(0, len(batchable), step):
+                chunk = batchable[i:i + step]
+                if len(chunk) == 1:
+                    self._dispatch(chunk[0])
+                    continue
+                batch = _Batch(
+                    self._next_id, workload, chunk[0].taps, chunk
+                )
+                self._next_id += 1
+                for member in chunk:
+                    member.batch = batch
+                self._batches[batch.batch_id] = batch
+                self._m_batches.inc()
+                self._m_batched_jobs.inc(len(chunk))
+                self._dispatch_batch(batch)
+            batchable.clear()
+
+        params = canonical_params(taps)
+        for stream in streams:
+            while True:
+                delay = self.limiter.delay(tenant, self._loop.time())
+                if delay <= 0.0:
+                    break
+                await asyncio.sleep(delay)
+            validated = spec.validate_stream(stream, self.alphabet)
+            ktaps, feed = spec.prepare(taps, validated)
+            job_id = self._next_id
+            self._next_id += 1
+            self._m_submitted.inc()
+            job = _Job(
+                job_id, tenant, priority, workload, spec, ktaps, feed,
+                len(validated), self._now(), self._loop.create_future(),
+            )
+            job_ids.append(job_id)
+            if self.obs is not None:
+                job.span = self.obs.tracer.open_span(
+                    "runtime.job", t0=job.submitted_s, unit="s",
+                    job_id=job_id, tenant=tenant, priority=priority.name,
+                    workload=workload,
+                )
+            if not validated:
+                job.started_s = job.submitted_s
+                self._jobs[job_id] = job
+                self._complete(job, [], mode="empty", worker=None,
+                               via_fallback=False)
+                continue
+            job.cache_key = result_cache_key(
+                workload, taps, validated, spec.numeric, params=params
+            )
+            if self.cache is not None:
+                hit = self.cache.get(
+                    job.cache_key, tenant=tenant, now=self._now()
+                )
+                if hit is not None:
+                    job.started_s = self._now()
+                    self._jobs[job_id] = job
+                    self._complete(job, hit, mode="cached", worker=None,
+                                   via_fallback=False)
+                    continue
+            if len(self._jobs) >= self.config.max_pending:
+                self._m_backpressure.inc()
+                if not self.config.degrade_when_saturated:
+                    if job.span is not None:
+                        self.obs.tracer.close(
+                            job.span, t1=self._now(), rejected=True
+                        )
+                    flush()  # already-admitted work must still run
+                    raise BackpressureError(
+                        f"runtime pending set full "
+                        f"({self.config.max_pending})"
+                    )
+                self._jobs[job_id] = job
+                job.started_s = self._now()
+                self._serve_fallback(job, reason="saturated")
+                continue
+            self._jobs[job_id] = job
+            if timeout_s is not None:
+                job.deadline = self._loop.time() + timeout_s
+                job.timer = self._loop.call_later(
+                    timeout_s, self._on_deadline, job
+                )
+            rep = reps.get(job.cache_key)
+            if rep is not None:
+                self._m_deduped.inc()
+                self._followers.setdefault(rep.job_id, []).append(job)
+                continue
+            reps[job.cache_key] = job
+            batchable.append(job)
+        flush()
+        return job_ids
 
     # -- dispatch / completion --------------------------------------------
 
@@ -366,11 +529,58 @@ class AsyncMatcherService:
             priority=int(job.priority),
         )
 
+    def _dispatch_batch(self, batch: _Batch) -> None:
+        """Send one batch plan to the pool: the not-yet-done members'
+        streams under one request, one shared fault sample."""
+        live = [j for j in batch.members if not j.done]
+        if not live:
+            self._batches.pop(batch.batch_id, None)
+            return
+        batch.dispatched = live
+        fault = self.faults.sample()
+        fault_kind = None
+        stall_s = 0.0
+        if fault is not None:
+            if fault.kind is FaultKind.WORKER_DEATH:
+                fault_kind = "death"
+            else:
+                stall_s = fault.extra_beats * self.config.stuck_stall_s
+        now = self._now()
+        wire_streams = []
+        for job in live:
+            if job.started_s is None:
+                job.started_s = now
+            wire = job.stream
+            if not job.spec.numeric and wire and isinstance(wire[0], str):
+                wire = "".join(wire)
+            wire_streams.append(wire)
+        deadlines = [j.deadline for j in live if j.deadline is not None]
+        request = JobRequest(
+            job_id=batch.batch_id,
+            attempt=batch.attempts,
+            workload=batch.workload,
+            taps=batch.taps,
+            stream=None,
+            collect_obs=self.obs is not None,
+            fault=fault_kind,
+            stall_s=stall_s,
+            streams=wire_streams,
+        )
+        self.pool.submit(
+            request,
+            self._reply_from_thread,
+            deadline=min(deadlines) if deadlines else None,
+            priority=int(min(j.priority for j in live)),
+        )
+
     def _reply_from_thread(self, reply: JobReply) -> None:
         # Collector-thread context: hop onto the event loop.
         self._loop.call_soon_threadsafe(self._handle_reply, reply)
 
     def _handle_reply(self, reply: JobReply) -> None:
+        if reply.job_id in self._batches or reply.results_many is not None:
+            self._handle_batch_reply(reply)
+            return
         job = self._jobs.get(reply.job_id)
         if job is None or job.done or reply.attempt != job.attempts:
             self._m_stale.inc()
@@ -399,6 +609,45 @@ class AsyncMatcherService:
         else:
             self._serve_fallback(job, reason="retries-exhausted")
 
+    def _handle_batch_reply(self, reply: JobReply) -> None:
+        batch = self._batches.get(reply.job_id)
+        if batch is None or reply.attempt != batch.attempts:
+            self._m_stale.inc()
+            return
+        live = [j for j in batch.dispatched if not j.done]
+        if reply.ok:
+            self._batches.pop(batch.batch_id, None)
+            if self.obs is not None:
+                if reply.metrics:
+                    self.obs.registry.merge_snapshot(reply.metrics)
+                if reply.spans and live:
+                    self.obs.tracer.adopt(
+                        reply.spans, parent=live[0].span,
+                        offset=max(live[0].started_s, 0.0),
+                    )
+            for job, rows in zip(batch.dispatched, reply.results_many):
+                if job.done:
+                    continue  # its deadline fired; already served degraded
+                results = job.spec.finalize(job.taps, job.orig_len, rows)
+                self._complete(
+                    job, results, mode="batched", worker=reply.worker,
+                    via_fallback=False,
+                )
+            return
+        # Whole-batch failure (death or error): bounded whole-batch retry.
+        batch.attempts += 1
+        if reply.died:
+            self._m_deaths.inc()
+        for job in live:
+            job.attempts += 1
+        if live and self.retry.should_retry(batch.attempts):
+            self._m_retries.inc()
+            self._dispatch_batch(batch)
+        else:
+            self._batches.pop(batch.batch_id, None)
+            for job in live:
+                self._serve_fallback(job, reason="retries-exhausted")
+
     def _on_deadline(self, job: _Job) -> None:
         """The job's SLO expired: shed it from the pool and serve it
         degraded.  A hung worker can no longer wedge this job."""
@@ -406,7 +655,8 @@ class AsyncMatcherService:
             return
         job.timed_out = True
         self._m_timeouts.inc()
-        self.pool.cancel(job.job_id, job.attempts)
+        if job.batch is None:
+            self.pool.cancel(job.job_id, job.attempts)
         job.attempts += 1
         if self.obs is not None:
             self.obs.tracer.event(
@@ -414,6 +664,11 @@ class AsyncMatcherService:
                 job_id=job.job_id, attempts=job.attempts,
             )
         self._serve_fallback(job, reason="deadline")
+        batch = job.batch
+        if batch is not None and all(j.done for j in batch.members):
+            # Every member has been served; drop the whole plan's reply.
+            self.pool.cancel(batch.batch_id, batch.attempts)
+            self._batches.pop(batch.batch_id, None)
 
     def _serve_fallback(self, job: _Job, reason: str) -> None:
         """Host-side degraded service: the oracle answer, never wrong."""
@@ -437,6 +692,8 @@ class AsyncMatcherService:
         self, job: _Job, results: list, mode: str,
         worker: Optional[str], via_fallback: bool,
     ) -> None:
+        if job.done:
+            return
         job.done = True
         if job.timer is not None:
             job.timer.cancel()
@@ -471,6 +728,18 @@ class AsyncMatcherService:
             job.span = None
         if not job.future.done():
             job.future.set_result(result)
+        if (
+            self.cache is not None and job.cache_key is not None
+            and mode not in ("cached", "deduped")
+        ):
+            self.cache.put(job.cache_key, results, now=finished)
+        # Fan results out to deduplicated followers: they shared this
+        # execution but keep their own identity and latency story.
+        for follower in self._followers.pop(job.job_id, []):
+            self._complete(
+                follower, list(results), mode="deduped", worker=worker,
+                via_fallback=via_fallback,
+            )
 
     # -- results -----------------------------------------------------------
 
@@ -547,6 +816,18 @@ class AsyncMatcherService:
     def backpressure_hits(self) -> int:
         return int(self._m_backpressure.value)
 
+    @property
+    def batches(self) -> int:
+        return int(self._m_batches.value)
+
+    @property
+    def batched_jobs(self) -> int:
+        return int(self._m_batched_jobs.value)
+
+    @property
+    def deduped(self) -> int:
+        return int(self._m_deduped.value)
+
     def stats(self) -> Dict[str, float]:
         """A flat snapshot of the runtime's own counters."""
         return {
@@ -557,6 +838,9 @@ class AsyncMatcherService:
             "fallbacks": self.fallbacks,
             "timeouts": self.timeouts,
             "backpressure_hits": self.backpressure_hits,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "deduped": self.deduped,
             "rate_limit_waits": self.limiter.waits,
             "pool_dispatched": self.pool.dispatched,
             "pool_replies": self.pool.replies,

@@ -49,6 +49,8 @@ def _execute(
         from ..workloads.registry import get_workload
 
         spec = get_workload(req.workload)
+        if req.streams is not None:
+            return _execute_batch(req, spec, name, alphabet, t0)
         key = (req.workload, tuple(req.taps) if not spec.numeric else None)
         engine = cache.get(key)
         if engine is None:
@@ -107,6 +109,55 @@ def _execute(
             wall_s=time.perf_counter() - t0,
             error=f"{type(exc).__name__}: {exc}",
         )
+
+
+def _execute_batch(req, spec, name, alphabet, t0):
+    """Answer a batch plan: every stream through the workload's batched
+    kernel in one call (falling back to a per-stream fast loop when the
+    spec has no batched evaluator)."""
+    feeds = list(req.streams)
+    if spec.batched is not None:
+        results_many = spec.batched(req.taps, feeds, alphabet)
+    else:
+        results_many = [spec.fast(req.taps, f, alphabet) for f in feeds]
+    wall = time.perf_counter() - t0
+    metrics = spans = None
+    if req.collect_obs:
+        from ..obs import Observability
+
+        obs = Observability()
+        samples = sum(len(f) for f in feeds)
+        obs.tracer.record(
+            "worker.kernel", t0=0.0, t1=wall, unit="s",
+            worker=name, pid=os.getpid(), workload=spec.name,
+            samples=samples, window=len(req.taps), jobs=len(feeds),
+            attempt=req.attempt, engine="batched",
+        )
+        obs.registry.counter(
+            "runtime.worker.batches", worker=name, workload=spec.name
+        ).inc()
+        obs.registry.counter(
+            "runtime.worker.jobs", worker=name, workload=spec.name
+        ).inc(len(feeds))
+        obs.registry.counter(
+            "runtime.worker.samples", worker=name
+        ).inc(samples)
+        obs.registry.histogram(
+            "runtime.worker.wall_s", worker=name
+        ).observe(wall)
+        metrics = obs.registry.snapshot()
+        spans = obs.tracer.to_dict()["spans"]
+    return JobReply(
+        job_id=req.job_id,
+        attempt=req.attempt,
+        ok=True,
+        worker=name,
+        pid=os.getpid(),
+        wall_s=wall,
+        results_many=results_many,
+        metrics=metrics,
+        spans=spans,
+    )
 
 
 def _compiled(spec, taps, alphabet):

@@ -27,10 +27,14 @@ Layout
   and the software-baseline fallback path.
 * :mod:`~repro.service.telemetry` -- per-job and per-worker counters
   rendered through :class:`repro.analysis.report.Table`.
+* :mod:`~repro.service.cache` -- the cross-tenant :class:`ResultCache`
+  the batch tier consults before dispatching (``submit``/``submit_many``
+  with ``cache=ResultCache(...)``).
 """
 
 from __future__ import annotations
 
+from .cache import ResultCache, result_cache_key
 from .pool import (
     DevicePool,
     PoolWorker,
@@ -72,6 +76,7 @@ __all__ = [
     "MatcherService",
     "PoolWorker",
     "Priority",
+    "ResultCache",
     "RetryPolicy",
     "SchedulerConfig",
     "ServiceTelemetry",
@@ -86,5 +91,6 @@ __all__ = [
     "merge_shard_values",
     "plan_shards",
     "pool_from_wafers",
+    "result_cache_key",
     "uniform_pool",
 ]

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from ..alphabet import Alphabet, PatternChar
 from ..chip.cascade import ChipCascade
 from ..chip.chip import ChipSpec, PatternMatchingChip
-from ..core.fastpath import FastMatcher
+from ..core.fastpath import FastMatcher, fast_match_many
 from ..core.multipass import runs_required
 from ..errors import ChipError, ServiceError
 from ..timing.model import TimingModel
@@ -223,6 +223,84 @@ class PoolWorker:
             if obs.deep:
                 oracle = spec.oracle(taps, stream, self.alphabet)
                 span.attrs["oracle_agrees"] = oracle == results
+        return results
+
+    def run_match_batch(
+        self,
+        pattern: Sequence[PatternChar],
+        texts: Sequence[Sequence[str]],
+        obs=None,
+        parent=None,
+        t0: float = 0.0,
+        t1: float = 0.0,
+    ) -> List[List[bool]]:
+        """Execute one pattern over a whole batch of texts in one call.
+
+        The batch tier's device model: the farm streams many short texts
+        through the loaded pattern back to back, and the result streams
+        come out per text.  Values come from the vectorized
+        :func:`~repro.core.fastpath.fast_match_many` kernel; ``obs.deep``
+        re-checks the whole batch against the per-job fast path (results
+        are always the batched kernel's).
+        """
+        if not self.is_live or self.backend is None:
+            raise ServiceError(f"worker {self.name!r} is dead")
+        pattern = list(pattern)
+        results = fast_match_many(pattern, texts, self.alphabet)
+        if obs is not None:
+            chars = sum(len(t) for t in texts)
+            span = obs.tracer.record(
+                "worker.batch", t0=t0, t1=t1, unit="beats", parent=parent,
+                worker=self.name, jobs=len(texts), chars=chars,
+                pattern_len=len(pattern), workload="match", engine="batched",
+            )
+            obs.registry.counter("worker.batches", worker=self.name).inc()
+            obs.registry.counter("worker.chars", worker=self.name).inc(chars)
+            if obs.deep:
+                fast = FastMatcher(pattern, self.alphabet)
+                span.attrs["fast_agrees"] = all(
+                    fast.match(t) == r for t, r in zip(texts, results)
+                )
+        return results
+
+    def run_kernel_batch(
+        self,
+        spec,
+        taps: Sequence,
+        streams: Sequence[Sequence],
+        obs=None,
+        parent=None,
+        t0: float = 0.0,
+        t1: float = 0.0,
+    ) -> List[List]:
+        """Execute one Section 3.4 kernel over a batch of streams.
+
+        Uses the workload's vectorized ``batched`` kernel when it has
+        one, else loops the per-job fast kernel; ``obs.deep`` re-checks
+        every member against the workload's direct oracle.
+        """
+        if not self.is_live or self.backend is None:
+            raise ServiceError(f"worker {self.name!r} is dead")
+        if spec.batched is not None:
+            results = spec.batched(taps, list(streams), self.alphabet)
+        else:
+            results = [spec.fast(taps, s, self.alphabet) for s in streams]
+        if obs is not None:
+            samples = sum(len(s) for s in streams)
+            span = obs.tracer.record(
+                "worker.batch", t0=t0, t1=t1, unit="beats", parent=parent,
+                worker=self.name, jobs=len(streams), chars=samples,
+                window=len(taps), workload=spec.name, engine="batched",
+            )
+            obs.registry.counter("worker.batches", worker=self.name).inc()
+            obs.registry.counter("worker.samples", worker=self.name).inc(
+                samples
+            )
+            if obs.deep:
+                span.attrs["oracle_agrees"] = all(
+                    spec.oracle(taps, s, self.alphabet) == r
+                    for s, r in zip(streams, results)
+                )
         return results
 
     def _deep_trace(self, obs, span, key, text, results) -> None:

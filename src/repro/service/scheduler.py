@@ -40,6 +40,10 @@ class SchedulerConfig:
     ``max_shards`` / ``min_shard_chars``: shard fan-out bounds.
     ``degrade_when_saturated``: on backpressure, run the job on the host
     CPU (software baseline) instead of raising.
+    ``max_batch_jobs``: how many compatible ``submit_many`` jobs one
+    batch plan may coalesce into a single worker execution; narrow texts
+    sharing one pattern ride together up to this bound (wide texts keep
+    their own shard plans).
     """
 
     queue_capacity: int = 64
@@ -48,6 +52,7 @@ class SchedulerConfig:
     max_shards: int = 4
     min_shard_chars: int = 64
     degrade_when_saturated: bool = True
+    max_batch_jobs: int = 32
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -58,6 +63,8 @@ class SchedulerConfig:
             raise ServiceError("max_shards must be positive")
         if self.min_shard_chars <= 0:
             raise ServiceError("min_shard_chars must be positive")
+        if self.max_batch_jobs <= 0:
+            raise ServiceError("max_batch_jobs must be positive")
 
 
 class BeatClock:

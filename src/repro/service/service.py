@@ -32,6 +32,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..alphabet import PatternChar, parse_pattern
 from ..errors import BackpressureError, ServiceError
 from ..host.bus import HostSpec
+from .cache import ResultCache, canonical_params, result_cache_key
 from .pool import DevicePool, PoolWorker, WorkerState
 from .reliability import FaultInjector, FaultKind, RetryPolicy, SoftwareFallback
 from .scheduler import BeatClock, JobQueues, Priority, SchedulerConfig, SharedBus
@@ -70,6 +71,10 @@ class MatchJob:
     orig_len: int = 0
     spec: Optional[WorkloadSpec] = None
     deadline: Optional[float] = None  # absolute beat; None = no SLO
+    #: Cross-tenant result-cache identity (also the submit_many dedup
+    #: key): canonical workload + params + content digest of the
+    #: validated input.  None until the admission path computes it.
+    cache_key: Optional[tuple] = None
 
     @property
     def window_len(self) -> int:
@@ -136,6 +141,49 @@ class _Execution:
     fault: Optional[object]
 
 
+@dataclass
+class _BatchJob:
+    """A coalesced batch plan: many compatible jobs, one queue entry.
+
+    All members share one parsed pattern/tap vector, tenant, and
+    priority (the ``submit_many`` contract), and every member's text is
+    *unique* -- duplicates were already peeled off as followers of their
+    representative.  The batch occupies one worker for the sum of its
+    members' service beats and is retried, shed, or degraded as a unit
+    (per-member deadlines are still honoured individually at launch)."""
+
+    jobs: List[MatchJob]
+    tenant: str
+    priority: Priority
+    workload: str
+
+    @property
+    def window_len(self) -> int:
+        return self.jobs[0].window_len
+
+
+@dataclass
+class _BatchState:
+    """In-flight bookkeeping for one batch plan."""
+
+    batch: _BatchJob
+    jobs: List[MatchJob]  # members still owed a device execution
+    started_beat: Optional[float] = None
+    attempts: int = 0  # failed batch executions (drives the retry policy)
+
+
+@dataclass(frozen=True)
+class _BatchExecution:
+    """One whole batch running on one worker (or dying on it)."""
+
+    seq: int
+    state: _BatchState
+    worker: PoolWorker
+    start_beat: float
+    finish_beat: float
+    fault: Optional[object]
+
+
 class MatcherService:
     """The multi-tenant matcher farm (the public API of the subsystem).
 
@@ -152,6 +200,7 @@ class MatcherService:
         host: Optional[HostSpec] = None,
         faults: Optional[FaultInjector] = None,
         obs=None,
+        cache: Optional[ResultCache] = None,
     ):
         self.pool = pool
         self.config = config or SchedulerConfig()
@@ -169,10 +218,17 @@ class MatcherService:
         )
         if obs is not None:
             self.faults.attach_obs(obs)
+        # Optional cross-tenant result cache.  Pass
+        # ``ResultCache(registry=obs.registry)`` to fold its hit/miss
+        # counters into the run's unified metrics; its TTL is measured
+        # in beats (the farm's clock).
+        self.cache = cache
         self._next_id = 0
         self._seq = 0
-        self._inflight: List[Tuple[float, int, _Execution]] = []
+        self._inflight: List[Tuple[float, int, object]] = []
         self._retry_ready: Deque[Tuple[_JobState, TextShard]] = deque()
+        self._retry_batches: Deque[_BatchState] = deque()
+        self._followers: Dict[int, List[MatchJob]] = {}
         self._completed: Dict[int, JobResult] = {}
         for w in pool:
             stats = self.telemetry.worker_stats(w.name, w.capacity)
@@ -224,6 +280,7 @@ class MatcherService:
                 submitted_beat=self.clock.now,
             )
             empty = not chars
+            key_taps, key_stream, key_numeric = parsed, chars, False
         else:
             spec = get_workload(workload)
             taps = spec.parse_params(pattern, self.pool.alphabet)
@@ -242,6 +299,7 @@ class MatcherService:
                 spec=spec,
             )
             empty = not validated
+            key_taps, key_stream, key_numeric = taps, validated, spec.numeric
         if timeout is not None:
             job.deadline = job.submitted_beat + timeout
         self._next_id += 1
@@ -257,6 +315,16 @@ class MatcherService:
         if empty:
             self._complete_empty(job)
             return job.job_id
+        if self.cache is not None:
+            job.cache_key = result_cache_key(
+                workload, key_taps, key_stream, key_numeric
+            )
+            hit = self.cache.get(
+                job.cache_key, tenant=tenant, now=self.clock.now
+            )
+            if hit is not None:
+                self._complete_cached(job, hit)
+                return job.job_id
         try:
             self.queues.put(priority, tenant, job)
             self._note_queue_depth(priority)
@@ -289,20 +357,145 @@ class MatcherService:
         workload: str = "match",
         timeout: Optional[float] = None,
     ) -> List[int]:
-        """Admit one job per text in *texts*, parsing the pattern once.
+        """Admit one job per text in *texts*, coalesced into batch plans.
 
-        This is the batched front door for query chunks: a corpus scan
-        submits each document as its own job against a shared pattern
-        without re-parsing it per document.  Backpressure applies per
-        job, exactly as with :meth:`submit`.
+        The batched front door for query chunks.  The pattern (or tap
+        vector) is parsed **once**; each text then takes the cheapest
+        route that still yields an oracle-identical result:
+
+        * empty texts complete immediately;
+        * texts whose canonical result is already in the
+          :class:`~repro.service.cache.ResultCache` complete from it
+          (``mode="cached"``);
+        * duplicate texts build **one** plan per *unique* text -- the
+          first occurrence is the representative, later ones are
+          followers that share its execution and results
+          (``mode="deduped"``);
+        * wide texts (``>= wide_text_threshold``) keep their own
+          shard/merge plans, exactly like :meth:`submit`;
+        * everything else is coalesced into :class:`_BatchJob` plans of
+          at most ``config.max_batch_jobs`` members, each dispatched to
+          a worker as a single batched execution (``mode="batched"``).
+
+        Backpressure applies per queue entry (one batch plan is one
+        entry): with ``degrade_when_saturated`` the overflowing plan is
+        served by the software baseline; otherwise the overflowing plan
+        and every not-yet-admitted job after it is rejected and
+        :class:`BackpressureError` raised (already-admitted jobs stay
+        admitted).
         """
+        if timeout is not None and timeout <= 0:
+            raise ServiceError("timeout must be a positive number of beats")
         if workload == "match":
-            pattern = self._parse(pattern)
-        return [
-            self.submit(pattern, text, tenant=tenant, priority=priority,
-                        workload=workload, timeout=timeout)
-            for text in texts
-        ]
+            parsed = self._parse(pattern)
+            spec = None
+            numeric = False
+        else:
+            spec = get_workload(workload)
+            parsed = spec.parse_params(pattern, self.pool.alphabet)
+            numeric = spec.numeric
+        now = self.clock.now
+        job_ids: List[int] = []
+        reps: Dict[tuple, MatchJob] = {}
+        batchable: List[MatchJob] = []
+        units: List[object] = []  # wide-text singleton jobs + batch plans
+        params = canonical_params(parsed)
+        for text in texts:
+            if workload == "match":
+                validated = self.pool.alphabet.validate_text(text)
+                job = MatchJob(
+                    job_id=self._next_id,
+                    tenant=tenant,
+                    priority=priority,
+                    pattern=parsed,
+                    text=validated,
+                    submitted_beat=now,
+                )
+            else:
+                validated = spec.validate_stream(text, self.pool.alphabet)
+                ktaps, feed = spec.prepare(parsed, validated)
+                job = MatchJob(
+                    job_id=self._next_id,
+                    tenant=tenant,
+                    priority=priority,
+                    pattern=[],
+                    text=feed,
+                    submitted_beat=now,
+                    workload=workload,
+                    taps=ktaps,
+                    orig_len=len(validated),
+                    spec=spec,
+                )
+            if timeout is not None:
+                job.deadline = now + timeout
+            self._next_id += 1
+            self.telemetry.submitted += 1
+            job_ids.append(job.job_id)
+            if self.obs is not None:
+                job.span = self.obs.tracer.open_span(
+                    "service.job", t0=now, unit="beats",
+                    job_id=job.job_id, tenant=tenant,
+                    priority=priority.name, workload=workload,
+                )
+            if not validated:
+                self._complete_empty(job)
+                continue
+            job.cache_key = result_cache_key(
+                workload, parsed, validated, numeric, params=params
+            )
+            if self.cache is not None:
+                hit = self.cache.get(job.cache_key, tenant=tenant, now=now)
+                if hit is not None:
+                    self._complete_cached(job, hit)
+                    continue
+            rep = reps.get(job.cache_key)
+            if rep is not None:
+                # One plan per unique text: this job shares the
+                # representative's execution and fans out at completion.
+                self.telemetry.deduped += 1
+                self._followers.setdefault(rep.job_id, []).append(job)
+                continue
+            reps[job.cache_key] = job
+            if len(job.text) >= self.config.wide_text_threshold:
+                units.append(job)  # its own shard/merge plan
+            else:
+                batchable.append(job)
+        step = self.config.max_batch_jobs
+        for i in range(0, len(batchable), step):
+            units.append(_BatchJob(
+                jobs=batchable[i : i + step],
+                tenant=tenant,
+                priority=priority,
+                workload=workload,
+            ))
+        for i, unit in enumerate(units):
+            members = [unit] if isinstance(unit, MatchJob) else unit.jobs
+            try:
+                self.queues.put(priority, tenant, unit)
+                self._note_queue_depth(priority)
+            except BackpressureError:
+                self.telemetry.backpressure_hits += 1
+                if self.config.degrade_when_saturated:
+                    for job in members:
+                        self._complete_member_software(job)
+                    continue
+                for late in units[i:]:
+                    late_members = (
+                        [late] if isinstance(late, MatchJob) else late.jobs
+                    )
+                    for job in late_members:
+                        self._reject(job)
+                raise
+        return job_ids
+
+    def _reject(self, job: MatchJob) -> None:
+        """Roll one not-admitted job (and its followers) back out."""
+        self.telemetry.submitted -= 1
+        if job.span is not None:
+            self.obs.tracer.close(job.span, t1=self.clock.now, rejected=True)
+            job.span = None
+        for follower in self._followers.pop(job.job_id, []):
+            self._reject(follower)
 
     def _parse(self, pattern) -> List[PatternChar]:
         if pattern and not isinstance(pattern, str) and all(
@@ -316,13 +509,19 @@ class MatcherService:
     def drain(self) -> List[JobResult]:
         """Run the farm until every admitted job has completed; returns
         all results so far, in job-id order."""
-        while self.queues.depth() or self._retry_ready or self._inflight:
+        while (
+            self.queues.depth() or self._retry_ready
+            or self._retry_batches or self._inflight
+        ):
             self._assign_all()
             if not self._inflight:
                 if self.pool.n_live == 0:
                     self._degrade_remaining()
                     continue
-                if not self.queues.depth() and not self._retry_ready:
+                if (
+                    not self.queues.depth() and not self._retry_ready
+                    and not self._retry_batches
+                ):
                     # Everything was served inline (deadline timeouts /
                     # saturation degrades) without touching a worker.
                     continue
@@ -331,7 +530,10 @@ class MatcherService:
                 )
             _, _, execution = heapq.heappop(self._inflight)
             self.clock.advance_to(execution.finish_beat)
-            self._complete_execution(execution)
+            if isinstance(execution, _BatchExecution):
+                self._complete_batch(execution)
+            else:
+                self._complete_execution(execution)
         self._sync_telemetry()
         return [self._completed[i] for i in sorted(self._completed)]
 
@@ -351,10 +553,18 @@ class MatcherService:
                 worker = self._choose_worker(idle, state.job.window_len)
                 self._launch(state, shard, worker)
                 continue
-            job = self.queues.pop()
-            if job is None:
+            if self._retry_batches:
+                bstate = self._retry_batches.popleft()
+                worker = self._choose_worker(idle, bstate.batch.window_len)
+                self._launch_batch(bstate, worker)
+                continue
+            unit = self.queues.pop()
+            if unit is None:
                 return
-            self._start_job(job)
+            if isinstance(unit, _BatchJob):
+                self._start_batch(unit)
+            else:
+                self._start_job(unit)
 
     @staticmethod
     def _choose_worker(
@@ -623,17 +833,240 @@ class MatcherService:
             job,
         )
 
+    def _complete_cached(self, job: MatchJob, results: List) -> None:
+        """Cache hit: the canonical answer is already known -- no queue,
+        no worker, no bus, zero service beats."""
+        now = self.clock.now
+        self._record(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priority=job.priority,
+                results=results,
+                submitted_beat=job.submitted_beat,
+                started_beat=now,
+                finished_beat=now,
+                wait_beats=0.0,
+                service_beats=0.0,
+                mode="cached",
+                workers=(),
+                attempts=0,
+                via_fallback=False,
+                workload=job.workload,
+            ),
+            job,
+        )
+
+    def _complete_member_software(
+        self, job: MatchJob, timed_out: bool = False
+    ) -> None:
+        """Serve one batch member from the host CPU (deadline shed,
+        batch retry exhaustion, or saturation degrade), preserving its
+        original submission beat for latency accounting."""
+        if job.workload == "match":
+            results = self.fallback.match(job.pattern, job.text)
+        else:
+            merged = self.fallback.kernel(job.spec, job.taps, job.text)
+            results = job.spec.finalize(job.taps, job.orig_len, merged)
+        beats = self.fallback.beats(job.window_len, len(job.text), self.beat_ns)
+        now = self.clock.now
+        self.telemetry.fallbacks += 1
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "service.software_fallback", t0=now, t1=now + beats,
+                unit="beats", parent=job.span, chars=len(job.text),
+            )
+        self._record(
+            JobResult(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                priority=job.priority,
+                results=results,
+                submitted_beat=job.submitted_beat,
+                started_beat=now,
+                finished_beat=now + beats,
+                wait_beats=now - job.submitted_beat,
+                service_beats=beats,
+                mode="software",
+                workers=(),
+                attempts=job.attempts,
+                via_fallback=True,
+                workload=job.workload,
+                timed_out=timed_out,
+            ),
+            job,
+        )
+
+    # -- batch plans -------------------------------------------------------
+
+    def _start_batch(self, batch: _BatchJob) -> None:
+        self._note_queue_depth(batch.priority)
+        state = _BatchState(batch, jobs=list(batch.jobs))
+        worker = self._choose_worker(
+            self.pool.idle_workers(), batch.window_len
+        )
+        self._launch_batch(state, worker)
+
+    def _batch_demand(
+        self, jobs: Sequence[MatchJob], worker: PoolWorker
+    ) -> Tuple[float, int]:
+        """Summed device beats and bus characters for a batch's members
+        run back-to-back on *worker* (one load of the shared pattern per
+        member, same accounting as a singleton launch)."""
+        plen = jobs[0].window_len
+        service = sum(worker.service_beats(plen, len(j.text)) for j in jobs)
+        chars = sum(worker.transfer_chars(plen, len(j.text)) for j in jobs)
+        return service, chars
+
+    def _launch_batch(self, state: _BatchState, worker: PoolWorker) -> None:
+        now = self.clock.now
+
+        def project(jobs):
+            service, chars = self._batch_demand(jobs, worker)
+            if fault is not None and fault.kind is FaultKind.WORKER_DEATH:
+                burned = max(1.0, fault.at_fraction * service)
+                return now + burned, int(chars * fault.at_fraction)
+            extra = fault.extra_beats if fault is not None else 0
+            return max(now + service + extra, self.bus.eta(chars, now)), chars
+
+        # One fault sample per batch execution: the whole batch lives or
+        # dies with the worker it lands on.
+        fault = self.faults.sample()
+        finish, bus_chars = project(state.jobs)
+        shed = [
+            j for j in state.jobs
+            if j.deadline is not None and finish > j.deadline
+        ]
+        if shed:
+            # Per-member SLO check before committing the worker: members
+            # whose deadline the projected finish would blow are served
+            # degraded right now; the survivors are re-projected once.
+            shed_ids = {j.job_id for j in shed}
+            for job in shed:
+                self.telemetry.timeouts += 1
+                if self.obs is not None:
+                    self.obs.tracer.event(
+                        "job.timeout", t=now, unit="beats",
+                        job_id=job.job_id, batch=True,
+                        projected_finish=finish, deadline=job.deadline,
+                    )
+                self._complete_member_software(job, timed_out=True)
+            state.jobs = [
+                j for j in state.jobs if j.job_id not in shed_ids
+            ]
+            if not state.jobs:
+                return  # the worker was never committed
+            finish, bus_chars = project(state.jobs)
+        if state.started_beat is None:
+            state.started_beat = now
+        worker.state = WorkerState.BUSY
+        self.bus.reserve(bus_chars, now)
+        self._seq += 1
+        execution = _BatchExecution(
+            self._seq, state, worker, now, finish, fault
+        )
+        heapq.heappush(self._inflight, (finish, self._seq, execution))
+
+    def _complete_batch(self, execution: _BatchExecution) -> None:
+        state, worker = execution.state, execution.worker
+        batch = state.batch
+        stats = self.telemetry.worker_stats(worker.name, worker.capacity)
+        stats.executions += 1
+        stats.record_busy(execution.start_beat, execution.finish_beat)
+        fault = execution.fault
+        batch_span = None
+        if self.obs is not None:
+            batch_span = self.obs.tracer.record(
+                "service.batch",
+                t0=execution.start_beat, t1=execution.finish_beat,
+                unit="beats", worker=worker.name, jobs=len(state.jobs),
+                workload=batch.workload, attempt=state.attempts,
+                fault=fault.kind.value if fault is not None else None,
+            )
+        if fault is not None and fault.kind is FaultKind.WORKER_DEATH:
+            worker.state = WorkerState.DEAD
+            stats.died = True
+            self.telemetry.deaths += 1
+            state.attempts += 1
+            for job in state.jobs:
+                job.attempts += 1
+            if self.retry.should_retry(state.attempts) and self.pool.n_live:
+                self.telemetry.retries += 1
+                self._retry_batches.append(state)
+            else:
+                for job in state.jobs:
+                    self._complete_member_software(job)
+            return
+        worker.state = WorkerState.IDLE
+        if fault is not None and fault.kind is FaultKind.STUCK_BEATS:
+            stats.stuck_events += 1
+            self.telemetry.stuck_events += 1
+        jobs = state.jobs
+        if batch.workload == "match":
+            results_many = worker.run_match_batch(
+                jobs[0].pattern, [j.text for j in jobs],
+                obs=self.obs, parent=batch_span,
+                t0=execution.start_beat, t1=execution.finish_beat,
+            )
+        else:
+            results_many = worker.run_kernel_batch(
+                jobs[0].spec, jobs[0].taps, [j.text for j in jobs],
+                obs=self.obs, parent=batch_span,
+                t0=execution.start_beat, t1=execution.finish_beat,
+            )
+        self.telemetry.batches += 1
+        started = (
+            state.started_beat if state.started_beat is not None
+            else execution.start_beat
+        )
+        plen = batch.window_len
+        for job, merged in zip(jobs, results_many):
+            if batch.workload == "match":
+                results = merged
+            else:
+                results = job.spec.finalize(job.taps, job.orig_len, merged)
+            self.telemetry.batched_jobs += 1
+            self._record(
+                JobResult(
+                    job_id=job.job_id,
+                    tenant=job.tenant,
+                    priority=job.priority,
+                    results=results,
+                    submitted_beat=job.submitted_beat,
+                    started_beat=started,
+                    finished_beat=execution.finish_beat,
+                    wait_beats=started - job.submitted_beat,
+                    # The member's share of the batch: what its own
+                    # device run would have cost on this worker.
+                    service_beats=worker.service_beats(plen, len(job.text)),
+                    mode="batched",
+                    workers=(worker.name,),
+                    attempts=job.attempts,
+                    via_fallback=False,
+                    workload=batch.workload,
+                ),
+                job,
+            )
+
     def _degrade_remaining(self) -> None:
         """Every live worker is gone: drain all remaining work through
         the software fallback (availability over throughput)."""
         while self._retry_ready:
             state, shard = self._retry_ready.popleft()
             self._shard_software(state, shard)
+        while self._retry_batches:
+            bstate = self._retry_batches.popleft()
+            for job in bstate.jobs:
+                self._complete_member_software(job)
         while True:
-            job = self.queues.pop()
-            if job is None:
+            unit = self.queues.pop()
+            if unit is None:
                 break
-            self._complete_software(job)
+            if isinstance(unit, _BatchJob):
+                for job in unit.jobs:
+                    self._complete_member_software(job)
+            else:
+                self._complete_software(unit)
 
     # -- accounting --------------------------------------------------------
 
@@ -655,6 +1088,37 @@ class MatcherService:
                 service_beats=result.service_beats,
             )
             job.span = None
+        if (
+            self.cache is not None and job.cache_key is not None
+            and result.mode not in ("cached", "deduped")
+        ):
+            self.cache.put(
+                job.cache_key, result.results, now=result.finished_beat
+            )
+        # Fan results out to any deduplicated followers of this job:
+        # they share the execution (and its faults, retries, timeouts)
+        # but keep their own identity and latency accounting.
+        for follower in self._followers.pop(result.job_id, []):
+            self._record(
+                JobResult(
+                    job_id=follower.job_id,
+                    tenant=follower.tenant,
+                    priority=follower.priority,
+                    results=list(result.results),
+                    submitted_beat=follower.submitted_beat,
+                    started_beat=result.started_beat,
+                    finished_beat=result.finished_beat,
+                    wait_beats=result.started_beat - follower.submitted_beat,
+                    service_beats=0.0,
+                    mode="deduped",
+                    workers=result.workers,
+                    attempts=0,
+                    via_fallback=result.via_fallback,
+                    workload=follower.workload,
+                    timed_out=result.timed_out,
+                ),
+                follower,
+            )
 
     def _sync_telemetry(self) -> None:
         t = self.telemetry

@@ -192,6 +192,9 @@ class ServiceTelemetry:
     fallbacks = _Scalar("_fallbacks", int)
     timeouts = _Scalar("_timeouts", int)
     backpressure_hits = _Scalar("_backpressure", int)
+    batches = _Scalar("_batches", int)
+    batched_jobs = _Scalar("_batched_jobs", int)
+    deduped = _Scalar("_deduped", int)
     text_chars_served = _Scalar("_chars", int)
     bus_busy_beats = _Scalar("_bus_busy", float)
     bus_chars_moved = _Scalar("_bus_chars", int)
@@ -208,6 +211,9 @@ class ServiceTelemetry:
         self._fallbacks = r.counter("service.fallbacks")
         self._timeouts = r.counter("service.timeouts")
         self._backpressure = r.counter("service.backpressure_hits")
+        self._batches = r.counter("service.batches")
+        self._batched_jobs = r.counter("service.jobs.batched")
+        self._deduped = r.counter("service.jobs.deduped")
         self._chars = r.counter("service.text_chars_served")
         self._bus_busy = r.gauge("service.bus.busy_beats")
         self._bus_chars = r.gauge("service.bus.chars_moved")
@@ -302,6 +308,9 @@ class ServiceTelemetry:
                 "software fallbacks": self.fallbacks,
                 "deadline timeouts": self.timeouts,
                 "backpressure hits": self.backpressure_hits,
+                "batched executions": self.batches,
+                "jobs served batched": self.batched_jobs,
+                "jobs deduplicated": self.deduped,
                 "text chars served": self.text_chars_served,
                 "makespan beats": self.makespan_beats,
                 "bus utilization": self.bus_utilization(),

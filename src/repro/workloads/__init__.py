@@ -19,6 +19,7 @@ from .registry import (
     get_workload,
     list_workloads,
     run_workload,
+    run_workload_many,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "get_workload",
     "list_workloads",
     "run_workload",
+    "run_workload_many",
 ]

@@ -44,8 +44,12 @@ from ..errors import PatternError
 from ..core.fastpath import (
     FastCounter,
     FastMatcher,
+    fast_counts_many,
     fast_inner_products,
+    fast_inner_products_many,
+    fast_match_many,
     fast_squared_distances,
+    fast_squared_distances_many,
 )
 from ..core.reference import correlation_oracle, count_oracle, match_oracle
 from ..extensions.counting import systolic_match_counts
@@ -60,6 +64,7 @@ __all__ = [
     "get_workload",
     "list_workloads",
     "run_workload",
+    "run_workload_many",
     "WORKLOADS",
 ]
 
@@ -140,6 +145,11 @@ class WorkloadSpec:
     stepwise: Callable[[object, Sequence, Optional[Alphabet]], list]
     prepare: Callable[[list, list], Tuple[list, list]] = _identity_prepare
     finalize: Callable[[list, int, list], list] = _identity_finalize
+    #: Window-space batch evaluator: (prepared taps, list of prepared
+    #: feeds, alphabet) -> one merged result list per feed.  None means
+    #: "no batched kernel" and run_many falls back to a per-feed ``fast``
+    #: loop, so every spec accepts ``engine="batched"``.
+    batched: Optional[Callable[[list, List[list], Optional[Alphabet]], List[list]]] = None
 
     def window_length(self, taps: Sequence) -> int:
         """Sliding-window width: the halo the shard planner must overlap."""
@@ -160,9 +170,12 @@ class WorkloadSpec:
         """Uniform entry point: parse, prepare, evaluate, finalize.
 
         ``engine`` selects the evaluator: ``"fast"`` (default),
-        ``"oracle"`` (direct definition), or ``"stepwise"`` (the
-        cell-by-cell :mod:`repro.extensions` machine).
+        ``"oracle"`` (direct definition), ``"stepwise"`` (the
+        cell-by-cell :mod:`repro.extensions` machine), or ``"batched"``
+        (the vectorized batch kernel, via a one-element batch).
         """
+        if engine == "batched":
+            return self.run_many(params, [stream], alphabet=alphabet)[0]
         if engine == "stepwise":
             return self.stepwise(params, stream, alphabet)
         taps = self.parse_params(params, alphabet)
@@ -175,6 +188,45 @@ class WorkloadSpec:
         else:
             raise WorkloadError(f"unknown engine {engine!r}")
         return self.finalize(ktaps, len(validated), merged)
+
+    def run_many(
+        self,
+        params,
+        streams: Sequence[Sequence],
+        alphabet: Optional[Alphabet] = None,
+        engine: str = "batched",
+    ) -> List[list]:
+        """Run one parameter set over many streams; one result per stream.
+
+        Parameters are parsed and prepared **once** for the whole batch.
+        ``engine="batched"`` (default) evaluates every prepared stream in
+        a single call to the spec's vectorized batch kernel (or a
+        per-stream ``fast`` loop when the spec has none); ``"fast"``,
+        ``"oracle"`` and ``"stepwise"`` loop the per-job engines, which
+        is what the differential tests compare against.  An empty batch
+        returns ``[]``.
+        """
+        if engine == "stepwise":
+            return [self.stepwise(params, s, alphabet) for s in streams]
+        if engine not in ("batched", "fast", "oracle"):
+            raise WorkloadError(f"unknown engine {engine!r}")
+        if not streams:
+            return []
+        taps = self.parse_params(params, alphabet)
+        validated = [self.validate_stream(s, alphabet) for s in streams]
+        prepared = [self.prepare(taps, v) for v in validated]
+        ktaps = prepared[0][0]
+        feeds = [feed for _ktaps, feed in prepared]
+        if engine == "batched" and self.batched is not None:
+            merged_all = self.batched(ktaps, feeds, alphabet)
+        elif engine == "oracle":
+            merged_all = [self.oracle(ktaps, f, alphabet) for f in feeds]
+        else:  # "fast", or "batched" on a spec without a batch kernel
+            merged_all = [self.fast(ktaps, f, alphabet) for f in feeds]
+        return [
+            self.finalize(ktaps, len(v), m)
+            for v, m in zip(validated, merged_all)
+        ]
 
 
 WORKLOADS: Dict[str, WorkloadSpec] = {}
@@ -195,6 +247,7 @@ MATCH = _register(WorkloadSpec(
     fast=lambda taps, feed, al: FastMatcher(taps, al).match(feed),
     oracle=lambda taps, feed, al: match_oracle(taps, feed),
     stepwise=lambda params, stream, al: _stepwise_match(params, stream, al),
+    batched=lambda taps, feeds, al: fast_match_many(taps, feeds, al),
 ))
 
 COUNT = _register(WorkloadSpec(
@@ -209,6 +262,7 @@ COUNT = _register(WorkloadSpec(
     stepwise=lambda params, stream, al: systolic_match_counts(
         params, stream, _require_alphabet(al, "count")
     ),
+    batched=lambda taps, feeds, al: fast_counts_many(taps, feeds, al),
 ))
 
 CORRELATION = _register(WorkloadSpec(
@@ -223,6 +277,7 @@ CORRELATION = _register(WorkloadSpec(
     stepwise=lambda params, stream, al: systolic_correlation(
         [float(v) for v in params], [float(v) for v in stream]
     ),
+    batched=lambda taps, feeds, al: fast_squared_distances_many(taps, feeds),
 ))
 
 INNER = _register(WorkloadSpec(
@@ -239,6 +294,7 @@ INNER = _register(WorkloadSpec(
     stepwise=lambda params, stream, al: systolic_inner_products(
         [float(v) for v in params], [float(v) for v in stream]
     ),
+    batched=lambda taps, feeds, al: fast_inner_products_many(taps, feeds),
 ))
 
 CONVOLUTION = _register(WorkloadSpec(
@@ -257,6 +313,7 @@ CONVOLUTION = _register(WorkloadSpec(
     ),
     prepare=_conv_prepare,
     finalize=_conv_finalize,
+    batched=lambda taps, feeds, al: fast_inner_products_many(taps, feeds),
 ))
 
 FIR = _register(WorkloadSpec(
@@ -275,6 +332,7 @@ FIR = _register(WorkloadSpec(
     ),
     prepare=_fir_prepare,
     finalize=_fir_finalize,
+    batched=lambda taps, feeds, al: fast_inner_products_many(taps, feeds),
 ))
 
 
@@ -322,3 +380,23 @@ def run_workload(
 ) -> list:
     """Run one workload end to end (see :meth:`WorkloadSpec.run`)."""
     return get_workload(name).run(params, stream, alphabet=alphabet, engine=engine)
+
+
+def run_workload_many(
+    name: str,
+    params,
+    streams: Sequence[Sequence],
+    alphabet: Optional[Alphabet] = None,
+    engine: str = "batched",
+) -> List[list]:
+    """Run one workload over many streams (see :meth:`WorkloadSpec.run_many`).
+
+    >>> from repro.alphabet import Alphabet
+    >>> run_workload_many("match", "AB", ["ABC", "BA"], Alphabet("ABCD"))
+    [[False, True, False], [False, False]]
+    >>> run_workload_many("fir", [0.5, 0.5], [[2.0, 4.0], [6.0]])
+    [[1.0, 3.0], [3.0]]
+    """
+    return get_workload(name).run_many(
+        params, streams, alphabet=alphabet, engine=engine
+    )

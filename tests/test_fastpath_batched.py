@@ -1,0 +1,128 @@
+"""Property: the batched kernels are the per-job fast kernels, many at once.
+
+Every batched evaluator in :mod:`repro.core.fastpath` -- the
+multi-pattern :class:`FastMatcherBank`/:class:`FastCounterBank` (many
+patterns x one text) and the ``*_many`` family (one pattern x many
+texts/streams) -- must agree element for element with a loop of the
+per-job kernels, and therefore (transitively, via ``test_fastpath`` and
+``test_workloads_kernels``) with the stepwise arrays and the oracle.
+Ragged batches (mixed pattern lengths, mixed text lengths) and the
+empty batch are first-class cases, not edge cases.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet, FastCounter, FastMatcher
+from repro.core.fastpath import (
+    FastCounterBank,
+    FastMatcherBank,
+    fast_counts_many,
+    fast_inner_products,
+    fast_inner_products_many,
+    fast_match_many,
+    fast_squared_distances,
+    fast_squared_distances_many,
+)
+from repro.errors import AlphabetError
+
+AB = Alphabet("ABCD")
+
+char_patterns = st.text(alphabet="ABCDX", min_size=1, max_size=12)
+char_texts = st.text(alphabet="ABCD", min_size=0, max_size=60)
+int_floats = st.integers(-8, 8).map(float)
+taps_lists = st.lists(int_floats, min_size=1, max_size=8)
+numeric_streams = st.lists(int_floats, min_size=0, max_size=40)
+
+
+class TestBanks:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(char_patterns, min_size=1, max_size=8), char_texts)
+    def test_matcher_bank_is_a_loop_of_fast_matchers(self, patterns, text):
+        bank = FastMatcherBank(patterns, AB)
+        rows = bank.match_all(text)
+        assert len(rows) == len(patterns)
+        for pattern, row in zip(patterns, rows):
+            assert row == FastMatcher(pattern, AB).match(text)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(char_patterns, min_size=1, max_size=8), char_texts)
+    def test_counter_bank_is_a_loop_of_fast_counters(self, patterns, text):
+        bank = FastCounterBank(patterns, AB)
+        rows = bank.counts_all(text)
+        for pattern, row in zip(patterns, rows):
+            assert row == FastCounter(pattern, AB).counts(text)
+
+    def test_bank_metadata(self):
+        bank = FastMatcherBank(["AB", "AXCD"], AB)
+        assert len(bank) == 2
+        assert bank.pattern_strings == ["AB", "AXCD"]
+
+    def test_empty_bank_matches_nothing(self):
+        bank = FastMatcherBank([], AB)
+        assert len(bank) == 0 and bank.match_all("ABC") == []
+
+    def test_bank_out_of_alphabet_text(self):
+        bank = FastMatcherBank(["AB"], AB)
+        with pytest.raises(AlphabetError):
+            bank.match_all("AZ")
+
+
+class TestManyTexts:
+    @settings(max_examples=80, deadline=None)
+    @given(char_patterns, st.lists(char_texts, min_size=0, max_size=8))
+    def test_match_many_is_a_loop_of_fast_matchers(self, pattern, texts):
+        rows = fast_match_many(pattern, texts, AB)
+        assert len(rows) == len(texts)
+        for text, row in zip(texts, rows):
+            assert row == FastMatcher(pattern, AB).match(text)
+
+    @settings(max_examples=80, deadline=None)
+    @given(char_patterns, st.lists(char_texts, min_size=0, max_size=8))
+    def test_counts_many_is_a_loop_of_fast_counters(self, pattern, texts):
+        rows = fast_counts_many(pattern, texts, AB)
+        for text, row in zip(texts, rows):
+            assert row == FastCounter(pattern, AB).counts(text)
+
+    def test_empty_batch(self):
+        assert fast_match_many("AB", [], AB) == []
+        assert fast_counts_many("AB", [], AB) == []
+
+    def test_ragged_texts_including_empty_and_short(self):
+        texts = ["", "A", "ABAB", "ABCDABCD" * 4]
+        rows = fast_match_many("ABX", texts, AB)
+        assert rows[0] == [] and rows[1] == [False]
+        for text, row in zip(texts, rows):
+            assert row == FastMatcher("ABX", AB).match(text)
+
+    def test_out_of_alphabet_in_any_member_raises(self):
+        with pytest.raises(AlphabetError):
+            fast_match_many("AB", ["ABCD", "AZ"], AB)
+
+
+class TestManyStreams:
+    @settings(max_examples=80, deadline=None)
+    @given(taps_lists, st.lists(numeric_streams, min_size=0, max_size=8))
+    def test_inner_products_many(self, taps, streams):
+        rows = fast_inner_products_many(taps, streams)
+        assert len(rows) == len(streams)
+        for stream, row in zip(streams, rows):
+            assert row == fast_inner_products(taps, stream)
+
+    @settings(max_examples=80, deadline=None)
+    @given(taps_lists, st.lists(numeric_streams, min_size=0, max_size=8))
+    def test_squared_distances_many(self, taps, streams):
+        rows = fast_squared_distances_many(taps, streams)
+        for stream, row in zip(streams, rows):
+            assert row == fast_squared_distances(taps, stream)
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            fast_inner_products_many([], [[1.0]])
+        with pytest.raises(ValueError):
+            fast_squared_distances_many([], [[1.0]])
+
+    def test_empty_batch(self):
+        assert fast_inner_products_many([1.0], []) == []
+        assert fast_squared_distances_many([1.0], []) == []

@@ -172,13 +172,18 @@ class TestProcessBoundary:
     def test_worker_process_obs_lands_under_runtime_job(self):
         """End to end across a real process boundary: worker counters
         merge into the host registry and worker.kernel spans parent
-        under the runtime.job that dispatched them."""
+        under the runtime.job that dispatched them.  Texts are distinct
+        and submitted per-job so neither the result cache nor batch
+        coalescing collapses the six device dispatches."""
         from repro.runtime import AsyncMatcherService
+
+        texts = [("ABAB" * 8) + "AB" * i for i in range(6)]
 
         async def go():
             obs = Observability()
             async with AsyncMatcherService(2, AB, obs=obs) as svc:
-                await svc.submit_many("AB", ["ABAB" * 8] * 6)
+                for text in texts:
+                    await svc.submit("AB", text)
                 await svc.drain()
             return obs
 
@@ -191,7 +196,7 @@ class TestProcessBoundary:
         merged_samples = sum(
             row["value"] for row in snap["runtime.worker.samples"]
         )
-        assert merged_samples == 6 * len("ABAB" * 8)
+        assert merged_samples == sum(len(t) for t in texts)
         spans = obs.tracer.to_dict()["spans"]
         jobs = {s["span_id"]: s for s in spans if s["name"] == "runtime.job"}
         kernels = [s for s in spans if s["name"] == "worker.kernel"]

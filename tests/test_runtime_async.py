@@ -286,10 +286,13 @@ class TestApi:
 
 class TestObservability:
     def test_worker_spans_and_metrics_merge_back(self):
+        # Four per-job submits: each crosses the wire on its own, so
+        # each gets its own worker-process kernel span merged back.
         async def go():
             obs = Observability()
             async with AsyncMatcherService(2, AB, obs=obs) as svc:
-                await svc.submit_many("AXC", ["ABCDABCA" * 10] * 4)
+                for _ in range(4):
+                    await svc.submit("AXC", "ABCDABCA" * 10)
                 await svc.drain()
             return obs
 
@@ -308,3 +311,31 @@ class TestObservability:
         )
         assert worker_jobs == 4
         assert "runtime.pool.dispatched" in snap
+
+    def test_batched_submit_many_spans(self):
+        # submit_many coalesces: distinct texts become one batch plan,
+        # one wire crossing, one batched worker.kernel span; duplicate
+        # texts dedup into followers and never cross at all.
+        texts = ["ABCDABCA" * (i + 1) for i in range(3)]
+        async def go():
+            obs = Observability()
+            async with AsyncMatcherService(2, AB, obs=obs) as svc:
+                await svc.submit_many("AXC", texts + [texts[0]])
+                results = await svc.drain()
+            return obs, results
+
+        obs, results = run(go())
+        spans = obs.tracer.to_dict()["spans"]
+        jobs = [s for s in spans if s["name"] == "runtime.job"]
+        kernels = [s for s in spans if s["name"] == "worker.kernel"]
+        assert len(jobs) == 4
+        assert len(kernels) == 1
+        assert kernels[0]["attrs"]["engine"] == "batched"
+        assert kernels[0]["attrs"]["jobs"] == 3
+        modes = sorted(r.mode for r in results)
+        assert modes == ["batched", "batched", "batched", "deduped"]
+        snap = obs.registry.snapshot()
+        worker_jobs = sum(
+            row["value"] for row in snap.get("runtime.worker.jobs", [])
+        )
+        assert worker_jobs == 3

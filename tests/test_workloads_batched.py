@@ -1,0 +1,102 @@
+"""`engine="batched"` and `run_many`: every registry workload, verified.
+
+The batched engine must be indistinguishable from the per-job ``fast``
+engine and the ``oracle`` for **every** workload in the registry --
+across ragged batches (mixed stream lengths, including empty members)
+and the empty batch -- because the service layers route traffic through
+whichever engine the batch planner picks and promise oracle-identical
+answers regardless.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Alphabet
+from repro.workloads import (
+    WorkloadError,
+    get_workload,
+    list_workloads,
+    run_workload,
+    run_workload_many,
+)
+
+AB = Alphabet("ABCD")
+
+CHAR_WORKLOADS = ("match", "count")
+NUMERIC_WORKLOADS = ("correlation", "inner-product", "convolution", "fir")
+
+char_patterns = st.text(alphabet="ABCDX", min_size=1, max_size=10)
+char_texts = st.text(alphabet="ABCD", min_size=0, max_size=50)
+int_floats = st.integers(-8, 8).map(float)
+taps_lists = st.lists(int_floats, min_size=1, max_size=6)
+numeric_streams = st.lists(int_floats, min_size=0, max_size=40)
+
+
+class TestEveryWorkload:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(CHAR_WORKLOADS),
+        char_patterns,
+        st.lists(char_texts, min_size=0, max_size=6),
+    )
+    def test_char_batched_equals_fast_equals_oracle(self, name, pattern, texts):
+        spec = get_workload(name)
+        batched = spec.run_many(pattern, texts, AB, engine="batched")
+        assert batched == spec.run_many(pattern, texts, AB, engine="fast")
+        assert batched == spec.run_many(pattern, texts, AB, engine="oracle")
+        assert batched == [
+            run_workload(name, pattern, t, AB, engine="oracle") for t in texts
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(NUMERIC_WORKLOADS),
+        taps_lists,
+        st.lists(numeric_streams, min_size=0, max_size=6),
+    )
+    def test_numeric_batched_equals_fast_equals_oracle(
+        self, name, taps, streams
+    ):
+        spec = get_workload(name)
+        batched = spec.run_many(taps, streams, engine="batched")
+        assert batched == spec.run_many(taps, streams, engine="fast")
+        assert batched == [
+            run_workload(name, taps, s, engine="oracle") for s in streams
+        ]
+
+    def test_all_registry_workloads_have_a_batched_path(self):
+        for name in list_workloads():
+            assert get_workload(name).batched is not None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(CHAR_WORKLOADS), char_patterns, char_texts)
+    def test_run_engine_batched_single_stream(self, name, pattern, text):
+        got = run_workload(name, pattern, text, AB, engine="batched")
+        assert got == run_workload(name, pattern, text, AB, engine="oracle")
+
+
+class TestEdges:
+    def test_empty_batch(self):
+        assert run_workload_many("match", "AX", [], AB) == []
+        assert run_workload_many("fir", [1.0, 2.0], []) == []
+
+    def test_ragged_batch_with_empty_members(self):
+        texts = ["", "ABCD", "A", "ABCDABCDABCD"]
+        rows = run_workload_many("count", "AX", texts, AB)
+        assert rows == [
+            run_workload("count", "AX", t, AB, engine="oracle") for t in texts
+        ]
+
+    def test_stepwise_engine_still_loops(self):
+        rows = run_workload_many(
+            "match", "AB", ["ABAB", "BA"], AB, engine="stepwise"
+        )
+        assert rows == [
+            run_workload("match", "AB", t, AB, engine="oracle")
+            for t in ("ABAB", "BA")
+        ]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_workload_many("match", "AB", ["AB"], AB, engine="warp")
