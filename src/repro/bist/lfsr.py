@@ -1,0 +1,153 @@
+"""LFSR stimulus and MISR compaction: the shift-register half of BIST.
+
+The classic built-in self-test datapath (LFSR pattern generator feeding
+the circuit under test, multiple-input signature register compacting its
+responses) maps naturally onto the paper's technology: both registers are
+exactly the kind of clocked shift structure the matcher chip is built
+from, so a production part could carry them in the pad ring.
+
+Here they are bit-exact software models:
+
+* :class:`LFSRPatternGenerator` -- a Fibonacci LFSR over a maximal-length
+  polynomial, one fresh ``width``-bit stimulus vector per beat.  Same
+  seed, same taps => same vector sequence, forever; determinism is the
+  point (the golden signature is only meaningful against a reproducible
+  stimulus).
+* :class:`MISR` -- a Galois-style multiple-input signature register.
+  Each beat's observed response word is XOR-folded into the rotating
+  state; after N beats the state is the *signature*.  A single wrong bit
+  anywhere in the response stream changes the signature (aliasing
+  probability ~2^-width).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..errors import CircuitError
+
+#: Maximal-length Fibonacci tap positions (1-based, from the standard
+#: primitive-polynomial tables) for register widths 2..24.  An LFSR with
+#: these taps cycles through all 2^n - 1 nonzero states.
+_MAXIMAL_TAPS = {
+    2: (2, 1), 3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 9: (9, 5), 10: (10, 7), 11: (11, 9),
+    12: (12, 11, 10, 4), 13: (13, 12, 11, 8), 14: (14, 13, 12, 2),
+    15: (15, 14), 16: (16, 15, 13, 4), 17: (17, 14), 18: (18, 11),
+    19: (19, 18, 17, 14), 20: (20, 17), 21: (21, 19), 22: (22, 21),
+    23: (23, 18), 24: (24, 23, 22, 17),
+}
+
+
+class LFSRPatternGenerator:
+    """A Fibonacci LFSR producing deterministic stimulus vectors.
+
+    Parameters
+    ----------
+    width:
+        Bits per stimulus vector (= register length).  Must have an
+        entry in the maximal-tap table (2..24).
+    seed:
+        Nonzero initial register state (an all-zero LFSR never leaves
+        zero).
+    """
+
+    def __init__(self, width: int, seed: int = 0b1011):
+        if width not in _MAXIMAL_TAPS:
+            raise CircuitError(
+                f"no maximal-length taps for LFSR width {width} "
+                f"(supported: 2..{max(_MAXIMAL_TAPS)})"
+            )
+        mask = (1 << width) - 1
+        if seed & mask == 0:
+            raise CircuitError("LFSR seed must be nonzero (mod 2^width)")
+        self.width = width
+        self.seed = seed & mask
+        self.taps = _MAXIMAL_TAPS[width]
+        self._mask = mask
+        self._state = self.seed
+
+    @property
+    def period(self) -> int:
+        """Cycle length: every nonzero state, once."""
+        return (1 << self.width) - 1
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def reset(self) -> None:
+        self._state = self.seed
+
+    def step(self) -> int:
+        """Advance one beat; returns the new register state."""
+        s = self._state
+        fb = 0
+        for t in self.taps:
+            fb ^= (s >> (t - 1)) & 1
+        self._state = ((s << 1) | fb) & self._mask
+        return self._state
+
+    def bits(self) -> Tuple[int, ...]:
+        """The current state as a bit tuple, LSB first."""
+        s = self._state
+        return tuple((s >> i) & 1 for i in range(self.width))
+
+    def vectors(self, count: int) -> Iterator[Tuple[int, ...]]:
+        """Yield *count* stimulus vectors, stepping between each."""
+        for _ in range(count):
+            yield self.bits()
+            self.step()
+
+
+class MISR:
+    """Multiple-input signature register (Galois form).
+
+    ``observe(word)`` folds one response word into the state:
+    rotate-with-feedback, then XOR the parallel inputs in.  ``signature``
+    is the state after the last observation.
+    """
+
+    #: CRC-32 polynomial, a dense, well-studied feedback mask.
+    DEFAULT_POLY = 0x04C11DB7
+
+    def __init__(self, width: int = 32, poly: int = DEFAULT_POLY,
+                 init: int = 0):
+        if width < 8:
+            raise CircuitError("MISR narrower than 8 bits aliases too easily")
+        self.width = width
+        self._mask = (1 << width) - 1
+        self.poly = poly & self._mask
+        self.init = init & self._mask
+        self._state = self.init
+        self.n_observed = 0
+
+    def reset(self) -> None:
+        self._state = self.init
+        self.n_observed = 0
+
+    def observe(self, word: int) -> int:
+        """Fold one response word (any width; wide words wrap) in."""
+        s = self._state
+        top = (s >> (self.width - 1)) & 1
+        s = ((s << 1) & self._mask) ^ (self.poly if top else 0)
+        # Fold over-wide inputs so every observed bit lands in-state.
+        w = word
+        while w:
+            s ^= w & self._mask
+            w >>= self.width
+        self._state = s
+        self.n_observed += 1
+        return s
+
+    def observe_bits(self, bits: List[int]) -> int:
+        """Pack a bit list (LSB first) into a word and observe it."""
+        word = 0
+        for i, b in enumerate(bits):
+            if b:
+                word |= 1 << i
+        return self.observe(word)
+
+    @property
+    def signature(self) -> int:
+        return self._state

@@ -1,0 +1,84 @@
+"""Response compaction: which nodes BIST watches and how they compact.
+
+A real tester can only afford the chip's pins, so the analyzer observes
+exactly the edge-visible outputs of the array -- the pattern row exiting
+right, the string row exiting left, the accumulator's result/control
+outputs -- one sample per beat, compacted through a :class:`MISR`.
+
+Each observed node contributes *two* bits per beat: its logic value and
+a "known" flag.  The flag matters: an open defect often floats a node to
+UNKNOWN rather than flipping it, and a value-only signature would read
+UNKNOWN as LOW and could alias with a healthy LOW.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuit.chipnet import MatcherArrayNetlist
+from ..circuit.signals import HIGH, UNKNOWN
+from .lfsr import MISR
+
+
+class SignatureAnalyzer:
+    """Samples a matcher array's edge outputs into a MISR signature."""
+
+    def __init__(self, misr_width: int = 32, poly: int = MISR.DEFAULT_POLY):
+        self.misr_width = misr_width
+        self.poly = poly
+
+    def response_nodes(self, net: MatcherArrayNetlist) -> Tuple[str, ...]:
+        """The observed output nodes, in a fixed observation order.
+
+        Edge pins (pattern exiting right, string exiting left, the
+        accumulator outputs) plus *test points* down the d-chain: every
+        comparator's ``d_out`` and the chain foot entering each
+        accumulator.  The d-chain is an AND ladder, the textbook
+        random-pattern-resistant structure, and an open in it often
+        shows only as an UNKNOWN confined to the broken gate's own
+        output node -- so each stage is tapped directly, the
+        observability a self-testing chip would route to its BIST
+        comparator for exactly that reason.
+        """
+        m, w = net.m, net.w
+        nodes: List[str] = []
+        for j in range(w):
+            nodes.append(net.comparators[j][m - 1]["p_out"])  # exits right
+            nodes.append(net.comparators[j][0]["s_out"])      # exits left
+        nodes.append(net.accumulators[0]["r_out"])            # chip R_OUT
+        nodes.append(net.accumulators[m - 1]["lam_out"])
+        nodes.append(net.accumulators[m - 1]["x_out"])
+        for i in range(m):                                    # test points
+            for j in range(w):
+                nodes.append(net.comparators[j][i]["d_out"])
+            # Every accumulator's own outputs, not just the chip edges:
+            # a misphased transfer in an interior (or last) column races
+            # only under rare stimulus if it must propagate to the far
+            # edge, but shows at the cell's own latch outputs within a
+            # few beats.
+            acc = net.accumulators[i]
+            nodes.append(acc["d_in"])
+            nodes.append(acc["r_out"])
+            nodes.append(acc["lam_out"])
+            nodes.append(acc["x_out"])
+        return tuple(nodes)
+
+    def new_misr(self) -> MISR:
+        return MISR(width=self.misr_width, poly=self.poly)
+
+    def sample(self, net: MatcherArrayNetlist,
+               nodes: Tuple[str, ...]) -> List[int]:
+        """One response word as a bit list: (value, known) per node."""
+        bits: List[int] = []
+        read = net.circuit.read
+        for node in nodes:
+            v = read(node)
+            if v is UNKNOWN:
+                bits.extend((0, 0))
+            else:
+                bits.extend((1 if v is HIGH else 0, 1))
+        return bits
+
+    def observe(self, misr: MISR, net: MatcherArrayNetlist,
+                nodes: Tuple[str, ...]) -> int:
+        return misr.observe_bits(self.sample(net, nodes))

@@ -129,6 +129,21 @@ class Circuit:
         self._topo_version += 1
         return e
 
+    def remove_enhancement(self, label: str) -> Enhancement:
+        """Remove the first enhancement transistor whose label matches.
+
+        Models an *open* -- a device disconnected from its net (a missing
+        contact, a broken channel).  The nodes stay; only the switch goes.
+        """
+        for i, t in enumerate(self.transistors):
+            if t.label == label:
+                del self.transistors[i]
+                self._adjacency_dirty = True
+                self._topo_version += 1
+                self._dirty_ext.update((t.a, t.b))
+                return t
+        raise CircuitError(f"no enhancement transistor labelled {label!r}")
+
     def add_depletion_load(self, node: str, label: str = "") -> DepletionLoad:
         """Add a depletion pullup on *node*."""
         self.node(node)

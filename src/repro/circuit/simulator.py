@@ -397,6 +397,9 @@ class _EventEngine:
         #: current rail mask / short state per component (valid once the
         #: initial all-dirty pass has visited every component)
         self._comp_mask: List[int] = [0] * len(self.comps)
+        #: components whose current partition reaches a rail only through
+        #: a MAYBE channel; they too must re-resolve on a short transition
+        self._comp_maybe_rail: List[bool] = [False] * len(self.comps)
         self._short_comps: Set[int] = set()
         self._shorted = False
         self._rr_on = False
@@ -437,6 +440,7 @@ class _EventEngine:
             comp.cache[key] = part
         comp.current = part
         self._comp_mask[c] = part.mask
+        self._comp_maybe_rail[c] = bool(part.maybe_rail)
         if part.short:
             self._short_comps.add(c)
         else:
@@ -604,10 +608,12 @@ class _EventEngine:
         if shorted != self._shorted:
             # A VDD-GND bridge appeared or cleared: the merged rail blob
             # changes value chip-wide, so every rail-touching component
-            # must re-resolve this very pass.
+            # must re-resolve this very pass -- including components whose
+            # only rail contact is a MAYBE channel, since the rail value
+            # their pessimism step compares against just changed.
             self._shorted = shorted
             for c, mask in enumerate(self._comp_mask):
-                if mask and c not in parts:
+                if (mask or self._comp_maybe_rail[c]) and c not in parts:
                     part = parts[c] = self._local(c)
                     if part.has_maybe:
                         have_maybe = True

@@ -21,10 +21,14 @@ Layering:
   shedding.
 * :mod:`~repro.runtime.service` -- the policy: submit/stream/drain,
   deadlines, seeded faults, retries, oracle fallback, obs merge-back.
+* :mod:`~repro.runtime.health` -- the maintenance crew: background
+  gate-level BIST probes on idle workers, quarantine of failing
+  processes, wafer-gated respawn healing.
 """
 
 from .admission import RateLimiter, TokenBucket
 from .channels import Channel, ChannelClosed, JobReply, JobRequest
+from .health import RuntimeHealth
 from .pool import WorkerPool
 from .service import AsyncMatcherService, RuntimeConfig, RuntimeResult
 
@@ -37,6 +41,7 @@ __all__ = [
     "RateLimiter",
     "RuntimeConfig",
     "RuntimeResult",
+    "RuntimeHealth",
     "TokenBucket",
     "WorkerPool",
 ]

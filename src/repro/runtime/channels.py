@@ -70,6 +70,18 @@ class Channel:
         """Blocking receive; raises ``queue.Empty`` on timeout."""
         return self._q.get(block=True, timeout=timeout)
 
+    def try_recv(self):
+        """Non-blocking receive: ``(True, item)`` or ``(False, None)``.
+
+        Used by the pool's heal path to drain a dead worker's request
+        channel (a stale job or SHUTDOWN sentinel must not be inherited
+        by the replacement process).
+        """
+        try:
+            return True, self._q.get_nowait()
+        except queue.Empty:
+            return False, None
+
     def close(self) -> None:
         self._q.close()
         # Don't block interpreter exit on an unflushed feeder thread.
@@ -92,6 +104,14 @@ class JobRequest:
     it sit on the job (a stuck/hung worker) before answering.  Faults
     are directives, not randomness, so runs stay deterministic per seed.
 
+    ``bist`` turns the request into a *self-test probe* instead of a
+    kernel execution: the dict carries the BIST geometry (``m``, ``w``,
+    ``vectors``, ``seed``, ``characterize``) plus an optional wire-form
+    :class:`~repro.service.reliability.CellDefect` under ``"defect"``
+    (the worker's latent fault, crossing the spawn boundary as a plain
+    dict).  The worker runs :class:`~repro.bist.BISTController`
+    in-process and answers with the report on ``JobReply.bist``.
+
     When ``streams`` is set the request is a *batch plan*: one taps
     vector, many prepared streams, answered by the workload's batched
     kernel in a single crossing (``stream`` is ignored).  ``job_id`` is
@@ -108,6 +128,7 @@ class JobRequest:
     fault: Optional[str] = None
     stall_s: float = 0.0
     streams: Optional[list] = None  # batch plan: many streams, one taps
+    bist: Optional[dict] = None  # self-test probe: geometry + wire defect
 
 
 @dataclass
@@ -131,3 +152,4 @@ class JobReply:
     metrics: Optional[Dict[str, List[dict]]] = None
     spans: Optional[List[dict]] = field(default=None)
     results_many: Optional[list] = None  # batch plan answer, stream order
+    bist: Optional[dict] = None  # self-test probe answer (report to_wire)

@@ -82,6 +82,9 @@ class WorkerPool:
         self._callbacks: Dict[Tuple[int, int], ReplyCallback] = {}
         self._cancelled: Set[Tuple[int, int]] = set()
         self._idle: List[int] = []
+        # Workers pulled from dispatch by the health loop: never in
+        # _idle, never dispatched to, until heal() respawns them.
+        self._quarantined: Set[int] = set()
         self._index = {name: i for i, name in enumerate(self._names)}
         self._seq = 0
         self._started = False
@@ -94,23 +97,30 @@ class WorkerPool:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self) -> "WorkerPool":
-        """Spawn the workers and the dispatcher/collector threads."""
-        if self._started:
-            return self
+    def _spawn(self, widx: int) -> mp.process.BaseProcess:
+        """One worker process on worker *widx*'s channels."""
         symbols = bits = None
         if self.alphabet is not None:
             symbols = "".join(self.alphabet.symbols)
             bits = self.alphabet.bits
-        for name, ch in zip(self._names, self._requests):
-            proc = self._ctx.Process(
-                target=worker_main,
-                args=(name, symbols, bits, ch, self._replies),
-                name=f"repro-runtime-{name}",
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                self._names[widx], symbols, bits,
+                self._requests[widx], self._replies,
+            ),
+            name=f"repro-runtime-{self._names[widx]}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and the dispatcher/collector threads."""
+        if self._started:
+            return self
+        for i in range(self.n_workers):
+            self._procs.append(self._spawn(i))
         self._idle = list(range(self.n_workers))
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-runtime-dispatch",
@@ -211,6 +221,112 @@ class WorkerPool:
             self._callbacks.pop(key, None)
             self._cancelled.add(key)
 
+    # -- fleet health ------------------------------------------------------
+
+    def idle_names(self) -> List[str]:
+        """Names of the workers currently idle (probe candidates)."""
+        with self._cond:
+            return [self._names[i] for i in sorted(self._idle)]
+
+    def quarantined_names(self) -> List[str]:
+        with self._cond:
+            return [self._names[i] for i in sorted(self._quarantined)]
+
+    def submit_to(
+        self, name: str, request: JobRequest, callback: ReplyCallback
+    ) -> bool:
+        """Targeted dispatch: send *request* to one specific worker,
+        only if it is idle right now.
+
+        The health loop uses this for BIST probes -- a probe must land
+        on the worker being probed (the EDF heap would route it
+        anywhere) and must never preempt real traffic, so a busy or
+        quarantined worker just returns ``False`` (probe it next
+        sweep).
+        """
+        widx = self._index.get(name)
+        if widx is None:
+            raise ServiceError(f"no pool worker named {name!r}")
+        if not self._started:
+            raise ServiceError("worker pool is not started")
+        key = (request.job_id, request.attempt)
+        with self._cond:
+            if (
+                self._closing
+                or widx in self._quarantined
+                or widx not in self._idle
+            ):
+                return False
+            self._idle.remove(widx)
+            self._callbacks[key] = callback
+            self.dispatched += 1
+        self._requests[widx].send(request)
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "runtime.pool.dispatched", worker=name
+            ).inc()
+        return True
+
+    def quarantine(self, name: str) -> None:
+        """Remove one worker from dispatch until :meth:`heal`.
+
+        Idempotent.  A busy worker finishes (or hangs on) its current
+        job, but its reply no longer returns it to the idle list, so no
+        further work ever reaches it.
+        """
+        widx = self._index.get(name)
+        if widx is None:
+            raise ServiceError(f"no pool worker named {name!r}")
+        with self._cond:
+            self._quarantined.add(widx)
+            if widx in self._idle:
+                self._idle.remove(widx)
+            self._cond.notify_all()
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "runtime.pool.quarantines", worker=name
+            ).inc()
+
+    def heal(self, name: str, timeout: float = 10.0) -> None:
+        """Replace a quarantined worker's process with a fresh one.
+
+        The old process gets a SHUTDOWN sentinel and a grace period,
+        then is terminated; its request channel is drained so the
+        replacement inherits clean channels; the fresh process rejoins
+        the idle list.  Only a quarantined worker can be healed --
+        healing a live one would drop its in-flight job.
+        """
+        widx = self._index.get(name)
+        if widx is None:
+            raise ServiceError(f"no pool worker named {name!r}")
+        with self._cond:
+            if widx not in self._quarantined:
+                raise ServiceError(
+                    f"worker {name!r} is not quarantined; only a "
+                    "quarantined worker can be healed"
+                )
+        proc = self._procs[widx]
+        ch = self._requests[widx]
+        ch.try_send(SHUTDOWN)
+        proc.join(timeout=timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        while True:
+            got, _ = ch.try_recv()
+            if not got:
+                break
+        self._procs[widx] = self._spawn(widx)
+        with self._cond:
+            self._quarantined.discard(widx)
+            if widx not in self._idle:
+                self._idle.append(widx)
+            self._cond.notify_all()
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "runtime.pool.heals", worker=name
+            ).inc()
+
     # -- threads -----------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -250,7 +366,11 @@ class WorkerPool:
             key = (reply.job_id, reply.attempt)
             with self._cond:
                 widx = self._index.get(reply.worker)
-                if widx is not None and widx not in self._idle:
+                if (
+                    widx is not None
+                    and widx not in self._idle
+                    and widx not in self._quarantined
+                ):
                     self._idle.append(widx)
                 callback = self._callbacks.pop(key, None)
                 stale = key in self._cancelled

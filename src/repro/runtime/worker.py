@@ -46,6 +46,8 @@ def _execute(
             died=True,
         )
     try:
+        if req.bist is not None:
+            return _execute_bist(req, name, t0)
         from ..workloads.registry import get_workload
 
         spec = get_workload(req.workload)
@@ -109,6 +111,41 @@ def _execute(
             wall_s=time.perf_counter() - t0,
             error=f"{type(exc).__name__}: {exc}",
         )
+
+
+def _execute_bist(req, name, t0):
+    """Answer a self-test probe: run gate-level BIST in this process.
+
+    The imports stay inside the function so ordinary kernel workers
+    never pay for the switch-level simulator; only probed processes
+    build it.  The golden signature is cached per process after the
+    first probe (module-level cache in the controller), so steady-state
+    probes cost milliseconds.
+    """
+    from ..bist.controller import BISTController
+    from ..service.reliability import CellDefect
+
+    spec = req.bist
+    defect = None
+    if spec.get("defect"):
+        defect = CellDefect.from_wire(spec["defect"])
+    controller = BISTController(
+        m=int(spec.get("m", 2)),
+        w=int(spec.get("w", 2)),
+        vectors=int(spec.get("vectors", 12)),
+        seed=int(spec.get("seed", 0b1011)),
+        characterize=bool(spec.get("characterize", True)),
+    )
+    report = controller.run(defect=defect, chip_name=name)
+    return JobReply(
+        job_id=req.job_id,
+        attempt=req.attempt,
+        ok=True,
+        worker=name,
+        pid=os.getpid(),
+        wall_s=time.perf_counter() - t0,
+        bist=report.to_wire(),
+    )
 
 
 def _execute_batch(req, spec, name, alphabet, t0):

@@ -30,11 +30,15 @@ Layout
 * :mod:`~repro.service.cache` -- the cross-tenant :class:`ResultCache`
   the batch tier consults before dispatching (``submit``/``submit_many``
   with ``cache=ResultCache(...)``).
+* :mod:`~repro.service.health` -- the fleet-health loop: background
+  gate-level BIST on idle workers, quarantine of failing chips, and
+  re-provisioning from the :mod:`repro.wafer` harvest model.
 """
 
 from __future__ import annotations
 
 from .cache import ResultCache, result_cache_key
+from .health import FleetHealth, HealthConfig, HealthEvent
 from .pool import (
     DevicePool,
     PoolWorker,
@@ -43,7 +47,15 @@ from .pool import (
     pool_from_wafers,
     uniform_pool,
 )
-from .reliability import Fault, FaultInjector, FaultKind, RetryPolicy, SoftwareFallback
+from .reliability import (
+    CellDefect,
+    CellDefectKind,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    RetryPolicy,
+    SoftwareFallback,
+)
 from .scheduler import (
     BeatClock,
     BoundedQueue,
@@ -66,10 +78,15 @@ from .telemetry import ServiceTelemetry, WorkerStats
 __all__ = [
     "BeatClock",
     "BoundedQueue",
+    "CellDefect",
+    "CellDefectKind",
     "DevicePool",
     "Fault",
     "FaultInjector",
     "FaultKind",
+    "FleetHealth",
+    "HealthConfig",
+    "HealthEvent",
     "JobQueues",
     "JobResult",
     "MatchJob",

@@ -31,11 +31,19 @@ from ..wafer.wafer import Wafer
 
 
 class WorkerState(Enum):
-    """Lifecycle of a pool worker."""
+    """Lifecycle of a pool worker.
+
+    ``QUARANTINED`` is the fleet-health state: the worker failed a
+    background self-test (:mod:`repro.service.health`), has been drained
+    and removed from dispatch, and is held for diagnosis rather than
+    declared dead -- a quarantined part can be re-binned or scrapped,
+    but it never serves another job.
+    """
 
     IDLE = "idle"
     BUSY = "busy"
     DEAD = "dead"
+    QUARANTINED = "quarantined"
 
 
 class PoolWorker:
@@ -73,6 +81,10 @@ class PoolWorker:
         # Gate-level twin for deep tracing (built lazily, same cache idea).
         self._gate: Optional[object] = None
         self._gate_key: Optional[tuple] = None
+        # A latent circuit defect (repro.service.reliability.CellDefect)
+        # waiting for background BIST to find it.  Seeded by the fault
+        # injector's defect channel; None on healthy silicon.
+        self.latent_defect = None
 
     # -- construction ------------------------------------------------------
 
@@ -125,7 +137,7 @@ class PoolWorker:
 
     @property
     def is_live(self) -> bool:
-        return self.state is not WorkerState.DEAD
+        return self.state in (WorkerState.IDLE, WorkerState.BUSY)
 
     @property
     def is_degraded(self) -> bool:
@@ -134,6 +146,27 @@ class PoolWorker:
     def fits(self, pattern_len: int) -> bool:
         """Can this worker hold the pattern without multipass?"""
         return 0 < pattern_len <= self.capacity
+
+    # -- fleet health ------------------------------------------------------
+
+    def seed_defect(self, defect) -> None:
+        """Plant a latent :class:`~repro.service.reliability.CellDefect`
+        for the background self-test to find (test/soak hook)."""
+        self.latent_defect = defect
+
+    def quarantine(self) -> None:
+        """Pull this worker out of dispatch after a failed self-test.
+
+        Only a live worker can be quarantined; a dead one already left
+        the farm and re-labelling it would hide the death from the
+        yield accounting.
+        """
+        if not self.is_live:
+            raise ServiceError(
+                f"cannot quarantine worker {self.name!r} in state "
+                f"{self.state.value!r}"
+            )
+        self.state = WorkerState.QUARANTINED
 
     # -- execution --------------------------------------------------------
 
@@ -164,7 +197,9 @@ class PoolWorker:
         path's.
         """
         if not self.is_live or self.backend is None:
-            raise ServiceError(f"worker {self.name!r} is dead")
+            raise ServiceError(
+                f"worker {self.name!r} is not live ({self.state.value})"
+            )
         key = tuple(pattern)
         fast = self._fast
         if fast is None or key != self._fast_key:
@@ -206,7 +241,9 @@ class PoolWorker:
         as ``oracle_agrees``; results are always the fast kernel's).
         """
         if not self.is_live or self.backend is None:
-            raise ServiceError(f"worker {self.name!r} is dead")
+            raise ServiceError(
+                f"worker {self.name!r} is not live ({self.state.value})"
+            )
         results = spec.fast(taps, stream, self.alphabet)
         if obs is not None:
             span = obs.tracer.record(
@@ -244,7 +281,9 @@ class PoolWorker:
         are always the batched kernel's).
         """
         if not self.is_live or self.backend is None:
-            raise ServiceError(f"worker {self.name!r} is dead")
+            raise ServiceError(
+                f"worker {self.name!r} is not live ({self.state.value})"
+            )
         pattern = list(pattern)
         results = fast_match_many(pattern, texts, self.alphabet)
         if obs is not None:
@@ -280,7 +319,9 @@ class PoolWorker:
         every member against the workload's direct oracle.
         """
         if not self.is_live or self.backend is None:
-            raise ServiceError(f"worker {self.name!r} is dead")
+            raise ServiceError(
+                f"worker {self.name!r} is not live ({self.state.value})"
+            )
         if spec.batched is not None:
             results = spec.batched(taps, list(streams), self.alphabet)
         else:
@@ -409,6 +450,24 @@ class DevicePool:
 
     def idle_workers(self) -> List[PoolWorker]:
         return [w for w in self.workers if w.state is WorkerState.IDLE]
+
+    def quarantined_workers(self) -> List[PoolWorker]:
+        return [
+            w for w in self.workers if w.state is WorkerState.QUARANTINED
+        ]
+
+    def add_worker(self, worker: PoolWorker) -> PoolWorker:
+        """Admit a freshly provisioned worker (the healing path)."""
+        if worker.alphabet != self.alphabet:
+            raise ServiceError(
+                "replacement worker must share the pool's alphabet"
+            )
+        if any(w.name == worker.name for w in self.workers):
+            raise ServiceError(
+                f"pool already has a worker named {worker.name!r}"
+            )
+        self.workers.append(worker)
+        return worker
 
     @property
     def n_live(self) -> int:

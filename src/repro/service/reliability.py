@@ -23,7 +23,7 @@ import math
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabet import PatternChar
 from ..baselines.shift_or import shift_or_match
@@ -34,6 +34,74 @@ from ..host.bus import HostSpec
 class FaultKind(Enum):
     WORKER_DEATH = "worker-death"
     STUCK_BEATS = "stuck-beats"
+
+
+class CellDefectKind(Enum):
+    """Circuit-level defect universe: what silicon actually does wrong.
+
+    These are *latent* defects -- they live in a chip's cells and are
+    invisible to the scheduler until a BIST pass (:mod:`repro.bist`)
+    stimulates the cell and the signature diverges.  They never corrupt
+    served results: a defective chip is quarantined, not trusted.
+    """
+
+    STUCK_AT_0 = "stuck-at-0"      # node welded to GND
+    STUCK_AT_1 = "stuck-at-1"      # node welded to VDD
+    BRIDGE = "bridge"              # two tracks shorted (always-on channel)
+    OPEN = "open"                  # device disconnected (missing contact)
+    SLOW_PATH = "slow-path"        # unbuffered series chain: timing escape
+    MISPHASE = "misphase"          # transfer gate on the wrong clock phase
+
+
+@dataclass(frozen=True)
+class CellDefect:
+    """One gate-level defect located in one cell of a matcher array.
+
+    ``col``/``row`` address the cell: row ``>= 0`` is a comparator,
+    row ``-1`` the accumulator in that column.  ``port`` (and
+    ``other_port`` for bridges) name cell ports; ``device`` names a
+    transistor label suffix for opens/misphases; ``stages`` is the chain
+    length for slow paths.
+    """
+
+    kind: CellDefectKind
+    col: int
+    row: int
+    port: str = ""
+    other_port: str = ""
+    device: str = ""
+    stages: int = 0
+
+    @property
+    def cell(self) -> str:
+        """The netlist prefix of the afflicted cell (``c{col}_{row}`` or
+        ``a{col}``)."""
+        return f"a{self.col}" if self.row < 0 else f"c{self.col}_{self.row}"
+
+    def describe(self) -> str:
+        what = self.port or self.device or "?"
+        if self.kind is CellDefectKind.BRIDGE:
+            what = f"{self.port}~{self.other_port}"
+        if self.kind is CellDefectKind.SLOW_PATH:
+            what = f"{what}+{self.stages}"
+        return f"{self.kind.value}@{self.cell}.{what}"
+
+    def to_wire(self) -> Dict[str, object]:
+        """A picklable dict safe to ship across a process boundary."""
+        return {
+            "kind": self.kind.value, "col": self.col, "row": self.row,
+            "port": self.port, "other_port": self.other_port,
+            "device": self.device, "stages": self.stages,
+        }
+
+    @staticmethod
+    def from_wire(d: Dict[str, object]) -> "CellDefect":
+        return CellDefect(
+            kind=CellDefectKind(d["kind"]), col=int(d["col"]),
+            row=int(d["row"]), port=str(d.get("port", "")),
+            other_port=str(d.get("other_port", "")),
+            device=str(d.get("device", "")), stages=int(d.get("stages", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +131,7 @@ class FaultInjector:
         p_death: float = 0.0,
         p_stuck: float = 0.0,
         stuck_beats: Tuple[int, int] = (1, 64),
+        p_defect: float = 0.0,
     ):
         if not 0.0 <= p_death <= 1.0 or not 0.0 <= p_stuck <= 1.0:
             raise ServiceError("fault probabilities must be in [0, 1]")
@@ -70,10 +139,17 @@ class FaultInjector:
             raise ServiceError("fault probabilities must sum to at most 1")
         if stuck_beats[0] < 0 or stuck_beats[1] < stuck_beats[0]:
             raise ServiceError("stuck_beats must be a non-negative range")
+        if not 0.0 <= p_defect <= 1.0:
+            raise ServiceError("fault probabilities must be in [0, 1]")
         self.p_death = p_death
         self.p_stuck = p_stuck
         self.stuck_beats = stuck_beats
+        self.p_defect = p_defect
         self._rng = random.Random(seed)
+        # Latent-defect sampling runs on its own stream so that turning
+        # the health loop on/off never perturbs the execution fault
+        # sequence (determinism audit: same seed, same deaths).
+        self._defect_rng = random.Random((seed ^ 0x9E3779B9) & 0xFFFFFFFF)
         self.obs = None
 
     def attach_obs(self, obs) -> None:
@@ -97,6 +173,54 @@ class FaultInjector:
                 extra_beats=self._rng.randint(*self.stuck_beats),
             )
         return None
+
+    #: (kind, weight) table for latent-defect sampling.  Stuck/bridge/open
+    #: dominate (they are the yield-model defects); slow paths and
+    #: misphased transfers are rarer process escapes.
+    _DEFECT_WEIGHTS = (
+        (CellDefectKind.STUCK_AT_0, 3),
+        (CellDefectKind.STUCK_AT_1, 3),
+        (CellDefectKind.BRIDGE, 3),
+        (CellDefectKind.OPEN, 3),
+        (CellDefectKind.SLOW_PATH, 1),
+        (CellDefectKind.MISPHASE, 1),
+    )
+    _STUCK_PORTS = ("eq", "p_out", "s_out", "d_out", "p_store", "s_store")
+    _BRIDGE_PAIRS = (("p_in", "s_in"), ("s_in", "d_in"), ("p_store", "s_store"))
+    _OPEN_DEVICES = ("pass_p", "pass_s", "pass_d")
+
+    def sample_defect(self, cols: int, rows: int) -> Optional["CellDefect"]:
+        """Maybe grow a latent defect in a ``cols``x``rows`` array.
+
+        Returns ``None`` (no defect, probability ``1 - p_defect``) or one
+        :class:`CellDefect` placed uniformly over the array.  Uses a
+        dedicated RNG stream -- see ``__init__``.
+        """
+        rng = self._defect_rng
+        if rng.random() >= self.p_defect:
+            return None
+        kinds = [k for k, w in self._DEFECT_WEIGHTS for _ in range(w)]
+        kind = rng.choice(kinds)
+        col = rng.randrange(cols)
+        row = rng.randrange(rows)
+        if kind in (CellDefectKind.STUCK_AT_0, CellDefectKind.STUCK_AT_1):
+            defect = CellDefect(kind, col, row, port=rng.choice(self._STUCK_PORTS))
+        elif kind is CellDefectKind.BRIDGE:
+            a, b = rng.choice(self._BRIDGE_PAIRS)
+            defect = CellDefect(kind, col, row, port=a, other_port=b)
+        elif kind is CellDefectKind.OPEN:
+            defect = CellDefect(kind, col, row, device=rng.choice(self._OPEN_DEVICES))
+        elif kind is CellDefectKind.SLOW_PATH:
+            defect = CellDefect(
+                kind, col, row, port="d_out", stages=rng.randrange(40, 60)
+            )
+        else:
+            defect = CellDefect(CellDefectKind.MISPHASE, col, -1, device="t_xfer")
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "faults.injected", kind=f"defect-{kind.value}"
+            ).inc()
+        return defect
 
 
 #: An injector that never fires -- the default, healthy farm.

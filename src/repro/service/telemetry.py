@@ -199,6 +199,10 @@ class ServiceTelemetry:
     bus_busy_beats = _Scalar("_bus_busy", float)
     bus_chars_moved = _Scalar("_bus_chars", int)
     makespan_beats = _Scalar("_makespan", float)
+    bist_runs = _Scalar("_bist_runs", int)
+    bist_failures = _Scalar("_bist_failures", int)
+    quarantines = _Scalar("_quarantines", int)
+    heals = _Scalar("_heals", int)
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -218,6 +222,10 @@ class ServiceTelemetry:
         self._bus_busy = r.gauge("service.bus.busy_beats")
         self._bus_chars = r.gauge("service.bus.chars_moved")
         self._makespan = r.gauge("service.makespan_beats")
+        self._bist_runs = r.counter("service.health.bist_runs")
+        self._bist_failures = r.counter("service.health.bist_failures")
+        self._quarantines = r.counter("service.health.quarantines")
+        self._heals = r.counter("service.health.heals")
         self._wait_hist = r.histogram("service.job.wait_beats")
         self._service_hist = r.histogram("service.job.service_beats")
         self._queue_high_water: Dict[Priority, int] = {}
@@ -314,6 +322,10 @@ class ServiceTelemetry:
                 "text chars served": self.text_chars_served,
                 "makespan beats": self.makespan_beats,
                 "bus utilization": self.bus_utilization(),
+                "bist runs": self.bist_runs,
+                "bist failures": self.bist_failures,
+                "quarantines": self.quarantines,
+                "heals": self.heals,
             },
         )
 

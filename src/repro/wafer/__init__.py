@@ -16,6 +16,7 @@ cannot scale while reconfigurable wafers can, and a pattern matcher that
 runs -- verified against the oracle -- on the harvested array.
 """
 
+from .provision import WaferSupply
 from .reconfigure import HarvestResult, harvest_linear_array
 from .wafer import Wafer, WaferSite
 from .yield_model import expected_harvest_fraction, monolithic_yield
@@ -24,6 +25,7 @@ __all__ = [
     "HarvestResult",
     "Wafer",
     "WaferSite",
+    "WaferSupply",
     "expected_harvest_fraction",
     "harvest_linear_array",
     "monolithic_yield",

@@ -1,0 +1,90 @@
+"""Re-provisioning: the wafer lot behind the fleet's healing loop.
+
+The paper's Section 5 economics assume a defective unit is cheap to
+replace: wafers keep coming off the line, each yields a harvestable
+array with probability set by the defect process, and the farm swaps a
+quarantined part for a freshly harvested one.  :class:`WaferSupply` is
+that lot -- a finite, seeded stream of :class:`~repro.wafer.wafer.Wafer`
+instances -- and the health loop (:mod:`repro.service.health`) draws
+from it until either the fleet is back to capacity or the supply is
+exhausted, at which point :class:`~repro.errors.ProvisionError` reports
+the exhaustion cleanly instead of spinning.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ChipError, ProvisionError
+from .wafer import Wafer
+from .yield_model import cells_per_wafer
+
+
+class WaferSupply:
+    """A finite, seeded lot of wafers to provision replacements from.
+
+    Every wafer in the lot shares one geometry and defect rate; each
+    ``draw`` consumes one wafer with its own derived seed, so the whole
+    lot is reproducible from the supply's seed alone (the determinism
+    the soak tests rely on).
+    """
+
+    def __init__(
+        self,
+        n_wafers: int,
+        rows: int,
+        cols: int,
+        defect_rate: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if n_wafers < 0:
+            raise ChipError("wafer supply cannot hold a negative lot")
+        if rows <= 0 or cols <= 0:
+            raise ChipError("wafer supply needs a positive grid")
+        if not 0.0 <= defect_rate < 1.0:
+            raise ChipError("defect rate must be in [0, 1)")
+        self.n_wafers = n_wafers
+        self.rows = rows
+        self.cols = cols
+        self.defect_rate = defect_rate
+        self._rng = random.Random(seed)
+        self._drawn = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.n_wafers - self._drawn
+
+    @property
+    def drawn(self) -> int:
+        return self._drawn
+
+    def expected_cells_per_wafer(self) -> float:
+        """Expected harvest of one draw (the Section 2 yield model)."""
+        return cells_per_wafer(self.rows, self.cols, self.defect_rate)
+
+    def draw(self) -> Wafer:
+        """Consume and return the lot's next wafer.
+
+        Raises :class:`~repro.errors.ProvisionError` once the lot is
+        empty -- exhaustion is an explicit, catchable condition, never a
+        hang or a silent repeat of an old wafer.
+        """
+        if self.remaining <= 0:
+            raise ProvisionError(
+                f"wafer supply exhausted after {self._drawn} draws "
+                f"({self.n_wafers}-wafer lot)"
+            )
+        self._drawn += 1
+        return Wafer(
+            self.rows,
+            self.cols,
+            self.defect_rate,
+            seed=self._rng.randrange(2**32),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WaferSupply({self.remaining}/{self.n_wafers} wafers, "
+            f"{self.rows}x{self.cols}, d={self.defect_rate})"
+        )

@@ -6,6 +6,20 @@ import pytest
 from hypothesis import strategies as st
 
 from repro import Alphabet
+from repro.service.reliability import FaultInjector
+
+#: One frozen seed for the fleet-health tests: the fault injector's
+#: defect stream, the LFSR stimulus, and the wafer lot all derive from
+#: fixed seeds, so the spawn-context health tests replay identically
+#: run to run (CI runs the health suite twice to enforce exactly that).
+HEALTH_SEED = 0xB157
+
+
+@pytest.fixture
+def health_injector() -> FaultInjector:
+    """A fault injector that grows a latent defect on every sample,
+    deterministically -- the health loop's worst-day input."""
+    return FaultInjector(seed=HEALTH_SEED, p_defect=1.0)
 
 
 @pytest.fixture

@@ -239,3 +239,30 @@ class TestStructuredScenarios:
             c.advance_time(400.0)  # g's charge decays; channel goes MAYBE
         settle_both(c_evt, c_ref, "decay cascade releases n")
         assert c_evt.nodes["n"].strength <= Strength.CHARGE
+
+    def test_short_transition_reresolves_maybe_rail_components(self):
+        """Regression (hypothesis seed 328): a component whose only rail
+        contact is a MAYBE channel (UNKNOWN gate) must re-resolve when a
+        VDD-GND short appears or clears elsewhere -- the rail value its
+        pessimism step compares against changes chip-wide, even though
+        none of its own gates moved."""
+        c_evt, c_ref = self._pair()
+        for c in (c_evt, c_ref):
+            # n: load-held HIGH, touching VDD only through gate g, which
+            # is never driven (UNKNOWN) -- a MAYBE rail edge, mask 0.
+            c.add_enhancement("g", VDD, "n")
+            c.add_depletion_load("n")
+            # m: bridges the rails when both a and b conduct.
+            c.add_enhancement("a", VDD, "m")
+            c.add_enhancement("b", GND, "m")
+            c.set_input("a", HIGH)
+        settle_both(c_evt, c_ref, "no short yet")
+        assert c_evt.read("n") is HIGH
+        for c in (c_evt, c_ref):
+            c.set_input("b", HIGH)  # short appears; rail blob goes X
+        settle_both(c_evt, c_ref, "short appears")
+        assert c_evt.read("n") is UNKNOWN
+        for c in (c_evt, c_ref):
+            c.set_input("b", LOW)  # short clears; rails split again
+        settle_both(c_evt, c_ref, "short clears")
+        assert c_evt.read("n") is HIGH
