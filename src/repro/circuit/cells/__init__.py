@@ -1,4 +1,4 @@
-"""Switch-level implementations of the chip's two cell types.
+"""Switch-level implementations of the array's cell types.
 
 "Since each cell inverts its inputs before sending them to its neighbors,
 two versions of each cell must be constructed.  One version operates on
@@ -12,5 +12,14 @@ and returns the port-name mapping used for wiring by
 
 from .accumulator import build_accumulator
 from .comparator import build_comparator
+from .counter import build_counter, counter_devices
+from .mac import build_mac, mac_devices
 
-__all__ = ["build_accumulator", "build_comparator"]
+__all__ = [
+    "build_accumulator",
+    "build_comparator",
+    "build_counter",
+    "build_mac",
+    "counter_devices",
+    "mac_devices",
+]

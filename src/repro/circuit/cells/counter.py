@@ -1,0 +1,143 @@
+"""The counting cell of Section 3.4 at switch level.
+
+"This problem can be solved by replacing the result bit stream by a
+stream of integers, and replacing the accumulator cell by a counting
+cell."  This module builds that counting cell as a real NMOS circuit:
+the accumulator's control plumbing (clocked input latches, the
+lambda-steered result multiplexer, the master/slave ``t`` discipline)
+kept intact, but ``t`` widened from one bit to a ``result_bits``-wide
+ripple-carry counter:
+
+    w  = x_in OR d_in                     (count wildcards as matches)
+    t' = t + w                            (ripple increment)
+    if lambda_in:  r_out <- t' ; t <- 0
+    else:          r_out <- r_in ; t <- t'
+
+Each result bit gets the same machinery as the accumulator's single
+result bit -- a lambda multiplexer, a clocked output latch, and a
+master/slave pair refreshed on the opposite phase -- so the cell obeys
+the two-phase discipline the ERC enforces (no same-phase feedback, every
+storage node clock-refreshed).  The increment is a half-adder chain:
+``sum_i = t_i XOR c_i``, ``c_{i+1} = t_i AND c_i``, ``c_0 = w``, built
+from the rails-style XOR gate (both operand polarities exist already)
+and two-high NAND stacks, keeping every restoring stage at the 4:1
+ratio.
+
+Like every cell of the chip, the counter exists in positive and negative
+twins: the negative twin takes complemented stream inputs and produces
+true outputs (its output inverters un-complement), so twins alternate
+along every data path exactly as the comparator/accumulator pair does.
+The internal counter value is kept in true polarity in both twins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import CircuitError
+from ..gates import inverter, nand2, nor2, pass_transistor, xor_from_rails
+from ..netlist import GND, Circuit
+
+
+def build_counter(
+    c: Circuit,
+    prefix: str,
+    clk: str,
+    clk_other: str,
+    result_bits: int,
+    positive: bool = True,
+) -> Dict[str, str]:
+    """Add one counting cell; returns its port map.
+
+    Ports: ``lam_in``, ``x_in``, ``d_in``, ``r_in0..r_in{R-1}`` (data
+    inputs; complemented for the negative twin), ``lam_out``, ``x_out``,
+    ``r_out0..r_out{R-1}`` (complemented by the cell), plus the
+    white-box counter nodes ``t_slave0..``/``t_master0..``.
+    """
+    if not prefix or not prefix.endswith("."):
+        raise CircuitError("prefix must be non-empty and end with '.'")
+    if result_bits < 1:
+        raise CircuitError("counter needs at least one result bit")
+    n = lambda s: prefix + s
+
+    # Input latches (clocked pass transistors), as in the accumulator.
+    for port in ("lam", "x", "d"):
+        pass_transistor(c, clk, n(f"{port}_in"), n(f"{port}_store"),
+                        label=n(f"pass_{port}"))
+    for i in range(result_bits):
+        pass_transistor(c, clk, n(f"r_in{i}"), n(f"r_store{i}"),
+                        label=n(f"pass_r{i}"))
+
+    # lambda and x continue rightward through shift-register inverters.
+    inverter(c, n("lam_store"), n("lam_out"), label=n("inv_lam"))
+    inverter(c, n("x_store"), n("x_out"), label=n("inv_x"))
+
+    if positive:
+        # w = x OR d:  w_bar = NOR(x, d), w = NOT w_bar.
+        nor2(c, n("x_store"), n("d_store"), n("w_bar"), label=n("nor_w"))
+        inverter(c, n("w_bar"), n("w"), label=n("inv_w"))
+        lam, lam_bar = n("lam_store"), n("lam_out")
+    else:
+        # Stored inputs are complements: w = x OR d = NAND(x_bar, d_bar).
+        nand2(c, n("x_store"), n("d_store"), n("w"), label=n("nand_w"))
+        inverter(c, n("w"), n("w_bar"), label=n("inv_wb"))
+        lam_bar, lam = n("lam_store"), n("lam_out")
+
+    # Ripple increment: sum_i = t_i XOR c_i, c_{i+1} = t_i AND c_i,
+    # seeded with c_0 = w.  Both polarities of every operand exist (the
+    # slave pair below provides t_i and t_bar_i), so the XOR is the same
+    # rails-style gate the comparator uses.
+    carry, carry_bar = n("w"), n("w_bar")
+    for i in range(result_bits):
+        t, t_bar = n(f"t_slave{i}"), n(f"t_slave_bar{i}")
+        s, s_bar = n(f"sum{i}"), n(f"sum_bar{i}")
+        xor_from_rails(c, t, t_bar, carry, carry_bar, s, label=n(f"xor{i}"))
+        inverter(c, s, s_bar, label=n(f"inv_sum{i}"))
+        if i < result_bits - 1:
+            nc_bar = n(f"carry_bar{i + 1}")
+            nand2(c, t, carry, nc_bar, label=n(f"nand_c{i + 1}"))
+            inverter(c, nc_bar, n(f"carry{i + 1}"), label=n(f"inv_c{i + 1}"))
+            carry, carry_bar = n(f"carry{i + 1}"), nc_bar
+
+        # Result multiplexer + clocked output latch, one per bit: the
+        # positive twin selects the true sum (its inverter emits the
+        # complement), the negative twin the complemented sum.
+        sel = n(f"r_sel{i}")
+        pass_transistor(c, lam, s if positive else s_bar, sel,
+                        label=n(f"mux_t{i}"))
+        pass_transistor(c, lam_bar, n(f"r_store{i}"), sel,
+                        label=n(f"mux_r{i}"))
+        pass_transistor(c, clk, sel, n(f"r_hold{i}"),
+                        label=n(f"r_hold_pass{i}"))
+        inverter(c, n(f"r_hold{i}"), n(f"r_out{i}"), label=n(f"inv_r{i}"))
+
+        # t master write: on lambda the counter clears (t <- 0, the
+        # accumulator's t <- TRUE with the identity element swapped),
+        # otherwise t <- sum.  Slave refresh on the opposite phase.
+        pass_transistor(c, clk, n(f"t_wr{i}"), n(f"t_master{i}"),
+                        label=n(f"t_wr_pass{i}"))
+        pass_transistor(c, lam, GND, n(f"t_wr{i}"), label=n(f"t_clr{i}"))
+        pass_transistor(c, lam_bar, s, n(f"t_wr{i}"), label=n(f"t_keep{i}"))
+        inverter(c, n(f"t_master{i}"), n(f"t_master_bar{i}"),
+                 label=n(f"inv_tm{i}"))
+        pass_transistor(c, clk_other, n(f"t_master_bar{i}"), t_bar,
+                        label=n(f"t_xfer{i}"))
+        inverter(c, t_bar, t, label=n(f"inv_ts{i}"))
+
+    ports = {
+        "lam_in": n("lam_in"), "x_in": n("x_in"), "d_in": n("d_in"),
+        "lam_out": n("lam_out"), "x_out": n("x_out"),
+    }
+    for i in range(result_bits):
+        ports[f"r_in{i}"] = n(f"r_in{i}")
+        ports[f"r_out{i}"] = n(f"r_out{i}")
+        ports[f"t_slave{i}"] = n(f"t_slave{i}")
+        ports[f"t_master{i}"] = n(f"t_master{i}")
+    return ports
+
+
+def counter_devices(result_bits: int, positive: bool = True) -> int:
+    """Device count of one counting-cell twin (for census tests)."""
+    c = Circuit("census")
+    build_counter(c, "u.", "clkA", "clkB", result_bits, positive=positive)
+    return c.n_transistors

@@ -1,0 +1,219 @@
+"""The inner-product (multiply-accumulate) cell at switch level.
+
+Section 3.4's last generalization replaces the comparator/accumulator
+pair with a cell that multiplies the meeting pattern and string values
+and accumulates the products: "many other problems, such as convolutions
+and FIR filtering, have algorithms that use the same data flow."  This
+module builds that cell for small unsigned operands:
+
+    d  = p * s                              (B x B array multiplier)
+    t' = t + d                              (R-bit ripple accumulate)
+    if lambda_in:  r_out <- t' ; t <- 0
+    else:          r_out <- r_in ; t <- t'
+
+The data plumbing is the accumulator's, widened to buses: the tap value
+``p`` (``data_bits`` wide) and stream value ``s`` travel through clocked
+input latches and shift-register inverters exactly like the matcher's
+bit rows, the result bus ``r`` (``result_bits`` wide) flows leftward
+through a lambda multiplexer and clocked output latch per bit, and the
+accumulator ``t`` lives in per-bit master/slave pairs refreshed on the
+opposite clock phase.
+
+Arithmetic is combinational ratioed NMOS between the latches: partial
+products from NAND+inverter pairs, half adders from the rails-style XOR,
+full adders whose carry is a majority gate built as an AND-OR-INVERT of
+two-high pulldown pairs (:func:`repro.circuit.gates.aoi_pairs`) so every
+restoring stage keeps the 4:1 ratio.  ``result_bits`` is chosen by the
+compiler so the window sum never wraps, making the cell bit-exact
+against the :data:`~repro.extensions.linear_products.INNER_PRODUCT`
+semiring on integer streams.
+
+Twins: the negative twin takes complemented bus inputs and emits true
+outputs, alternating along rows like every other cell; the multiplier
+and accumulator work in true polarity internally for both twins (the
+input inverters supply true rails either way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import CircuitError
+from ..gates import aoi_pairs, inverter, nand2, pass_transistor, xor_from_rails
+from ..netlist import GND, Circuit
+
+#: A combinational signal: (true node, complement node).
+_Sig = Tuple[str, str]
+
+
+def _half_adder(c: Circuit, pre: str, a: _Sig, b: _Sig) -> Tuple[_Sig, _Sig]:
+    """sum = a XOR b, carry = a AND b; returns ((s, s_bar), (co, co_bar))."""
+    s, s_bar = pre + "s", pre + "sb"
+    xor_from_rails(c, a[0], a[1], b[0], b[1], s, label=pre + "xs")
+    inverter(c, s, s_bar, label=pre + "xsb")
+    co_bar, co = pre + "cb", pre + "co"
+    nand2(c, a[0], b[0], co_bar, label=pre + "nand")
+    inverter(c, co_bar, co, label=pre + "co")
+    return (s, s_bar), (co, co_bar)
+
+
+def _full_adder(
+    c: Circuit, pre: str, a: _Sig, b: _Sig, cin: _Sig
+) -> Tuple[_Sig, _Sig]:
+    """Full adder; carry out is a majority gate (AOI of two-high pairs)."""
+    x1, x1_bar = pre + "x1", pre + "x1b"
+    xor_from_rails(c, a[0], a[1], b[0], b[1], x1, label=pre + "x1")
+    inverter(c, x1, x1_bar, label=pre + "x1b")
+    s, s_bar = pre + "s", pre + "sb"
+    xor_from_rails(c, x1, x1_bar, cin[0], cin[1], s, label=pre + "xs")
+    inverter(c, s, s_bar, label=pre + "xsb")
+    co_bar, co = pre + "cb", pre + "co"
+    aoi_pairs(
+        c,
+        [(a[0], b[0]), (a[0], cin[0]), (b[0], cin[0])],
+        co_bar,
+        label=pre + "maj",
+    )
+    inverter(c, co_bar, co, label=pre + "co")
+    return (s, s_bar), (co, co_bar)
+
+
+def _add_vectors(
+    c: Circuit, pre: str, xs: List[Optional[_Sig]], ys: List[Optional[_Sig]],
+    width: int,
+) -> List[Optional[_Sig]]:
+    """Ripple-add two bit vectors (None = constant 0), truncated to *width*."""
+    out: List[Optional[_Sig]] = []
+    carry: Optional[_Sig] = None
+    for i in range(width):
+        a = xs[i] if i < len(xs) else None
+        b = ys[i] if i < len(ys) else None
+        ops = [o for o in (a, b, carry) if o is not None]
+        if not ops:
+            out.append(None)
+            carry = None
+        elif len(ops) == 1:
+            out.append(ops[0])
+            carry = None
+        elif len(ops) == 2:
+            s, carry = _half_adder(c, f"{pre}{i}.", ops[0], ops[1])
+            out.append(s)
+        else:
+            s, carry = _full_adder(c, f"{pre}{i}.", ops[0], ops[1], ops[2])
+            out.append(s)
+    return out
+
+
+def build_mac(
+    c: Circuit,
+    prefix: str,
+    clk: str,
+    clk_other: str,
+    data_bits: int,
+    result_bits: int,
+    positive: bool = True,
+) -> Dict[str, str]:
+    """Add one multiply-accumulate cell; returns its port map.
+
+    Ports: ``lam_in``, ``p_in0..``, ``s_in0..`` (``data_bits`` wide),
+    ``r_in0..`` (``result_bits`` wide) as inputs (complemented for the
+    negative twin); ``lam_out``, ``p_out0..``, ``s_out0..``,
+    ``r_out0..`` as outputs (complemented by the cell); white-box
+    accumulator nodes ``t_slave0..``/``t_master0..``.
+    """
+    if not prefix or not prefix.endswith("."):
+        raise CircuitError("prefix must be non-empty and end with '.'")
+    if data_bits < 1 or result_bits < 2 * data_bits:
+        raise CircuitError(
+            "mac needs data_bits >= 1 and result_bits >= 2 * data_bits"
+        )
+    n = lambda s: prefix + s
+
+    # Input latches and shift-register inverters, bus-wide.
+    pass_transistor(c, clk, n("lam_in"), n("lam_store"), label=n("pass_lam"))
+    inverter(c, n("lam_store"), n("lam_out"), label=n("inv_lam"))
+    for b in range(data_bits):
+        for port in ("p", "s"):
+            pass_transistor(c, clk, n(f"{port}_in{b}"), n(f"{port}_store{b}"),
+                            label=n(f"pass_{port}{b}"))
+            inverter(c, n(f"{port}_store{b}"), n(f"{port}_out{b}"),
+                     label=n(f"inv_{port}{b}"))
+    for i in range(result_bits):
+        pass_transistor(c, clk, n(f"r_in{i}"), n(f"r_store{i}"),
+                        label=n(f"pass_r{i}"))
+
+    # True/complement rails per twin: the positive twin stores true
+    # values (inverters emit complements), the negative twin the reverse.
+    if positive:
+        lam, lam_bar = n("lam_store"), n("lam_out")
+        p_sig = [(n(f"p_store{b}"), n(f"p_out{b}")) for b in range(data_bits)]
+        s_sig = [(n(f"s_store{b}"), n(f"s_out{b}")) for b in range(data_bits)]
+    else:
+        lam_bar, lam = n("lam_store"), n("lam_out")
+        p_sig = [(n(f"p_out{b}"), n(f"p_store{b}")) for b in range(data_bits)]
+        s_sig = [(n(f"s_out{b}"), n(f"s_store{b}")) for b in range(data_bits)]
+
+    # B x B array multiplier: partial products, then shifted ripple adds.
+    rows: List[List[Optional[_Sig]]] = []
+    for j in range(data_bits):
+        row: List[Optional[_Sig]] = [None] * j
+        for b in range(data_bits):
+            pp_bar, pp = n(f"pp_bar{b}_{j}"), n(f"pp{b}_{j}")
+            nand2(c, p_sig[b][0], s_sig[j][0], pp_bar, label=n(f"ppn{b}_{j}"))
+            inverter(c, pp_bar, pp, label=n(f"ppi{b}_{j}"))
+            row.append((pp, pp_bar))
+        rows.append(row)
+    prod = rows[0]
+    for j in range(1, data_bits):
+        prod = _add_vectors(c, n(f"mul{j}."), prod, rows[j], 2 * data_bits)
+
+    # Accumulate: t' = t + product over the full result width.
+    t_sig: List[Optional[_Sig]] = [
+        (n(f"t_slave{i}"), n(f"t_slave_bar{i}")) for i in range(result_bits)
+    ]
+    total = _add_vectors(c, n("acc."), t_sig, prod, result_bits)
+
+    # Per result bit: lambda multiplexer + clocked output latch, and the
+    # master/slave t write (clear on lambda, else keep the new sum).
+    for i in range(result_bits):
+        s, s_bar = total[i]
+        sel = n(f"r_sel{i}")
+        pass_transistor(c, lam, s if positive else s_bar, sel,
+                        label=n(f"mux_t{i}"))
+        pass_transistor(c, lam_bar, n(f"r_store{i}"), sel,
+                        label=n(f"mux_r{i}"))
+        pass_transistor(c, clk, sel, n(f"r_hold{i}"),
+                        label=n(f"r_hold_pass{i}"))
+        inverter(c, n(f"r_hold{i}"), n(f"r_out{i}"), label=n(f"inv_r{i}"))
+
+        pass_transistor(c, clk, n(f"t_wr{i}"), n(f"t_master{i}"),
+                        label=n(f"t_wr_pass{i}"))
+        pass_transistor(c, lam, GND, n(f"t_wr{i}"), label=n(f"t_clr{i}"))
+        pass_transistor(c, lam_bar, s, n(f"t_wr{i}"), label=n(f"t_keep{i}"))
+        inverter(c, n(f"t_master{i}"), n(f"t_master_bar{i}"),
+                 label=n(f"inv_tm{i}"))
+        pass_transistor(c, clk_other, n(f"t_master_bar{i}"),
+                        n(f"t_slave_bar{i}"), label=n(f"t_xfer{i}"))
+        inverter(c, n(f"t_slave_bar{i}"), n(f"t_slave{i}"),
+                 label=n(f"inv_ts{i}"))
+
+    ports = {"lam_in": n("lam_in"), "lam_out": n("lam_out")}
+    for b in range(data_bits):
+        ports[f"p_in{b}"] = n(f"p_in{b}")
+        ports[f"p_out{b}"] = n(f"p_out{b}")
+        ports[f"s_in{b}"] = n(f"s_in{b}")
+        ports[f"s_out{b}"] = n(f"s_out{b}")
+    for i in range(result_bits):
+        ports[f"r_in{i}"] = n(f"r_in{i}")
+        ports[f"r_out{i}"] = n(f"r_out{i}")
+        ports[f"t_slave{i}"] = n(f"t_slave{i}")
+        ports[f"t_master{i}"] = n(f"t_master{i}")
+    return ports
+
+
+def mac_devices(data_bits: int, result_bits: int, positive: bool = True) -> int:
+    """Device count of one MAC twin (for census tests)."""
+    c = Circuit("census")
+    build_mac(c, "u.", "clkA", "clkB", data_bits, result_bits,
+              positive=positive)
+    return c.n_transistors

@@ -79,3 +79,20 @@ def xor_from_rails(
 ) -> str:
     """Difference gate: pulled low when operands are equal."""
     return xnor_from_rails(c, a, a_bar, b_bar, b, out, label=label)
+
+
+def aoi_pairs(c: Circuit, pairs, out: str, label: str = "aoi") -> str:
+    """AND-OR-INVERT: ``out = NOR of two-input ANDs``.
+
+    Each ``(a, b)`` pair becomes a two-high series pulldown path, so the
+    gate keeps the 4:1 pullup/pulldown ratio that the ERC demands of
+    every restoring stage (a three-high NAND stack would not).  The
+    majority gate of a full adder is the canonical use:
+    ``maj(a, b, cin)`` inverted is ``aoi_pairs([(a,b), (a,cin), (b,cin)])``.
+    """
+    c.add_depletion_load(out, label=f"{label}.pullup")
+    for k, (a, b) in enumerate(pairs):
+        mid = f"{out}.m{k}"
+        c.add_enhancement(a, out, mid, label=f"{label}.p{k}a")
+        c.add_enhancement(b, mid, GND, label=f"{label}.p{k}b")
+    return out

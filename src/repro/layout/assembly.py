@@ -65,70 +65,65 @@ class ChipFloorplan:
         return len(self.pads)
 
 
-class ChipAssembler:
-    """Builds the floorplan and CIF for an m-column, w-row matcher chip."""
+class ArrayAssembler:
+    """Floorplan + CIF for any rectangular array of library cells.
 
-    def __init__(self, columns: int, bit_rows: int, name: str = "pattern_matcher"):
-        if columns <= 0 or bit_rows <= 0:
-            raise LayoutError("chip needs at least one column and one bit row")
-        self.columns = columns
-        self.bit_rows = bit_rows
+    The generic engine behind :class:`ChipAssembler` and the chip
+    compiler's generated designs (:mod:`repro.compiler.physical`):
+
+    ``cells``
+        Library of placeable layouts, keyed by cell name.
+    ``rows``
+        The array, bottom row first; each row is a list of cell names,
+        one per column, all rows the same length.  Columns share one
+        pitch (the widest library cell) so twins abut interchangeably --
+        the "exterior details such as size ... must be known" boundary of
+        Section 4.
+    ``pins``
+        Bonding-pad names, ringed around the die in order.
+    """
+
+    def __init__(
+        self,
+        cells: Dict[str, CellLayout],
+        rows: List[List[str]],
+        pins: List[str],
+        name: str = "array",
+    ):
+        if not rows or not rows[0]:
+            raise LayoutError("array needs at least one row and one column")
+        width = len(rows[0])
+        for row in rows:
+            if len(row) != width:
+                raise LayoutError("every array row needs the same column count")
+            for cname in row:
+                if cname not in cells:
+                    raise LayoutError(f"unknown cell {cname!r} in array rows")
+        self._cells = dict(cells)
+        self._rows = [list(row) for row in rows]
+        self._pins = list(pins)
         self.name = name
-        self._cells: Dict[str, CellLayout] = {}
-        for positive in (True, False):
-            suffix = "pos" if positive else "neg"
-            self._cells[f"comparator_{suffix}"] = comparator_layout(positive)[1]
-            self._cells[f"accumulator_{suffix}"] = accumulator_layout(positive)[1]
-
-    def cell(self, kind: str, positive: bool) -> CellLayout:
-        return self._cells[f"{kind}_{'pos' if positive else 'neg'}"]
-
-    # -- pin inventory (Figure 3-7 extensibility) -----------------------------
+        self.columns = width
+        self.bit_rows = len(rows) - 1
 
     def pin_names(self) -> List[str]:
-        """Every pad the extensible chip needs.
-
-        Per Section 3.4: pattern/string bit inputs AND outputs, the
-        result stream in and out, the control bits, clocks and power.
-        """
-        pins = ["VDD", "GND", "PHI1", "PHI2", "LAM_IN", "X_IN",
-                "LAM_OUT", "X_OUT", "R_IN", "R_OUT"]
-        for j in range(self.bit_rows):
-            pins += [f"P_IN{j}", f"P_OUT{j}", f"S_IN{j}", f"S_OUT{j}"]
-        return pins
+        """The bonding-pad inventory, in placement order."""
+        return list(self._pins)
 
     # -- floorplan ------------------------------------------------------------------
 
     def floorplan(self) -> ChipFloorplan:
-        # The twins of a cell type may differ slightly in net count (a NOR
-        # has no internal pulldown node where a NAND does); the floorplan
-        # uses each type's bounding size so twins abut interchangeably --
-        # the "exterior details such as size ... must be known" boundary
-        # of Section 4.
-        cmp_h = max(self.cell("comparator", p).height for p in (True, False))
-        acc_h = max(self.cell("accumulator", p).height for p in (True, False))
-        col_w = max(
-            self.cell(kind, p).width
-            for kind in ("comparator", "accumulator")
-            for p in (True, False)
-        )
+        # One column pitch for the whole array (the twins of a cell type
+        # may differ slightly in net count, so sizes are bounded over the
+        # library); each row is as tall as its tallest cell.
+        col_w = max(c.width for c in self._cells.values())
         fp = ChipFloorplan(self.name, self.columns, self.bit_rows)
         y = 0
-        # Accumulator row at the bottom, comparator rows above (Figure 3-3
-        # draws comparators on top).
-        for i in range(self.columns):
-            positive = (i + self.bit_rows) % 2 == 0
-            fp.cell_instances.append(
-                (f"accumulator_{'pos' if positive else 'neg'}", i * col_w, y)
-            )
-        y += acc_h + ROW_GAP
-        for j in range(self.bit_rows - 1, -1, -1):
-            for i in range(self.columns):
-                positive = (i + j) % 2 == 0
-                fp.cell_instances.append(
-                    (f"comparator_{'pos' if positive else 'neg'}", i * col_w, y)
-                )
-            y += cmp_h + ROW_GAP
+        for row in self._rows:
+            row_h = max(self._cells[cname].height for cname in row)
+            for i, cname in enumerate(row):
+                fp.cell_instances.append((cname, i * col_w, y))
+            y += row_h + ROW_GAP
         fp.core_width = self.columns * col_w
         fp.core_height = y - ROW_GAP
         self._place_pads(fp)
@@ -198,3 +193,39 @@ class ChipAssembler:
             "die_area_mm2": fp.die_area * lam_mm ** 2,
             "pads": fp.n_pads,
         }
+
+
+class ChipAssembler(ArrayAssembler):
+    """The prototype matcher chip: m columns, w comparator rows over one
+    accumulator row, polarity alternating by (column + row) parity."""
+
+    def __init__(self, columns: int, bit_rows: int, name: str = "pattern_matcher"):
+        if columns <= 0 or bit_rows <= 0:
+            raise LayoutError("chip needs at least one column and one bit row")
+        cells: Dict[str, CellLayout] = {}
+        for positive in (True, False):
+            suffix = "pos" if positive else "neg"
+            cells[f"comparator_{suffix}"] = comparator_layout(positive)[1]
+            cells[f"accumulator_{suffix}"] = accumulator_layout(positive)[1]
+
+        def twin(kind: str, i: int, j: int) -> str:
+            return f"{kind}_{'pos' if (i + j) % 2 == 0 else 'neg'}"
+
+        # Accumulator row at the bottom (row index w in the polarity
+        # scheme), comparator rows above, row 0 on top (Figure 3-3 draws
+        # comparators on top).
+        rows = [[twin("accumulator", i, bit_rows) for i in range(columns)]]
+        for j in range(bit_rows - 1, -1, -1):
+            rows.append([twin("comparator", i, j) for i in range(columns)])
+
+        # Pin inventory (Figure 3-7 extensibility): pattern/string bit
+        # inputs AND outputs, the result stream in and out, the control
+        # bits, clocks and power.
+        pins = ["VDD", "GND", "PHI1", "PHI2", "LAM_IN", "X_IN",
+                "LAM_OUT", "X_OUT", "R_IN", "R_OUT"]
+        for j in range(bit_rows):
+            pins += [f"P_IN{j}", f"P_OUT{j}", f"S_IN{j}", f"S_OUT{j}"]
+        super().__init__(cells, rows, pins, name)
+
+    def cell(self, kind: str, positive: bool) -> CellLayout:
+        return self._cells[f"{kind}_{'pos' if positive else 'neg'}"]

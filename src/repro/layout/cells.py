@@ -320,6 +320,57 @@ def accumulator_bundle(positive: bool = True) -> CellBundle:
     return CellBundle(name, c, external, ("clkA", "clkB"), sd, expand_sticks(sd))
 
 
+def counter_bundle(result_bits: int, positive: bool = True) -> CellBundle:
+    """Circuit, sticks, and layout for a counting-cell twin.
+
+    The Section 3.4 counting cell with a ``result_bits``-wide ripple
+    counter, laid out by the same mechanical stick generator as the
+    prototype cells.  Used by the chip compiler's ``count`` kernel.
+    """
+    from ..circuit.cells.counter import build_counter
+
+    c = Circuit("cnt")
+    ports = build_counter(c, "u.", "clkA", "clkB", result_bits,
+                          positive=positive)
+    external = {"clkA": "clkA", "clkB": "clkB"}
+    for p in ("lam_in", "x_in", "d_in", "lam_out", "x_out"):
+        external[p] = ports[p]
+    for i in range(result_bits):
+        external[f"r_in{i}"] = ports[f"r_in{i}"]
+        external[f"r_out{i}"] = ports[f"r_out{i}"]
+    name = f"counter{result_bits}_{'pos' if positive else 'neg'}"
+    sd = generate_cell_sticks(c, external, name)
+    return CellBundle(name, c, external, ("clkA", "clkB"), sd, expand_sticks(sd))
+
+
+def mac_bundle(
+    data_bits: int, result_bits: int, positive: bool = True
+) -> CellBundle:
+    """Circuit, sticks, and layout for a multiply-accumulate cell twin.
+
+    The inner-product cell of Section 3.4's final generalization
+    (``data_bits``-wide operands, ``result_bits``-wide accumulator).
+    Used by the chip compiler's ``inner-product`` kernel.
+    """
+    from ..circuit.cells.mac import build_mac
+
+    c = Circuit("mac")
+    ports = build_mac(c, "u.", "clkA", "clkB", data_bits, result_bits,
+                      positive=positive)
+    external = {"clkA": "clkA", "clkB": "clkB",
+                "lam_in": ports["lam_in"], "lam_out": ports["lam_out"]}
+    for b in range(data_bits):
+        for p in ("p", "s"):
+            external[f"{p}_in{b}"] = ports[f"{p}_in{b}"]
+            external[f"{p}_out{b}"] = ports[f"{p}_out{b}"]
+    for i in range(result_bits):
+        external[f"r_in{i}"] = ports[f"r_in{i}"]
+        external[f"r_out{i}"] = ports[f"r_out{i}"]
+    name = f"mac{data_bits}x{result_bits}_{'pos' if positive else 'neg'}"
+    sd = generate_cell_sticks(c, external, name)
+    return CellBundle(name, c, external, ("clkA", "clkB"), sd, expand_sticks(sd))
+
+
 def cell_bundle(kind: str, positive: bool = True) -> CellBundle:
     """Bundle for *kind* in {"comparator", "accumulator"}."""
     if kind == "comparator":

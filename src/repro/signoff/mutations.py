@@ -7,6 +7,12 @@ pass chain -- chosen so exactly one stage of the pipeline is responsible
 for catching it.  The test suite asserts that the responsible stage
 reports an error naming the defect while the stages upstream of it stay
 clean, and that the unmutated cells pass everything.
+
+Every factory takes an optional ``bundle``: by default it mutates the
+prototype cell it was written for, but any bundle produced by the
+mechanical layout generator can be passed instead -- which is how
+compiler-generated cells get their mutation coverage
+(:func:`repro.compiler.verify.run_design_mutants`).
 """
 
 from __future__ import annotations
@@ -68,9 +74,9 @@ def _with_layout(bundle: CellBundle, layout: CellLayout) -> CellBundle:
 
 # -- the mutants ------------------------------------------------------------
 
-def drc_metal_sliver() -> Tuple[Mutation, CellBundle]:
+def drc_metal_sliver(bundle: CellBundle = None) -> Tuple[Mutation, CellBundle]:
     """An isolated 1-lambda metal sliver: a width violation, nothing else."""
-    b = comparator_bundle(True)
+    b = bundle or comparator_bundle(True)
     layout = _copy_layout(b.layout)
     # Far enough above the VDD rail to violate no spacing rule, touching
     # nothing -- electrically inert, geometrically illegal.
@@ -85,30 +91,35 @@ def drc_metal_sliver() -> Tuple[Mutation, CellBundle]:
     )
 
 
-def lvs_shorted_tracks() -> Tuple[Mutation, CellBundle]:
-    """A poly bridge shorting the p_in track to the s_in track."""
-    b = comparator_bundle(True)
+def lvs_shorted_tracks(bundle: CellBundle = None) -> Tuple[Mutation, CellBundle]:
+    """A poly bridge shorting two signal-port tracks together."""
+    b = bundle or comparator_bundle(True)
     layout = _copy_layout(b.layout)
-    y = layout.ports["p_in"][0].y
-    # A legal-width vertical poly strap spanning from the p_in track to
-    # the s_in track two pitches below (the slot between them is empty at
-    # this x); DRC cannot object (touching poly merges), but the
-    # extracted netlist now has one net where the schematic has two.
-    layout.add(Layer.POLY, Rect(8, y, 10, y + 2 * TRACK_PITCH + 1))
+    # The two lowest full-width signal tracks (port nets span the cell, so
+    # both exist at x=8..10, left of the first device column).  A
+    # legal-width vertical poly strap bridges them; DRC cannot object
+    # (touching poly merges), but the extracted netlist now has one net
+    # where the schematic has two.
+    ys = sorted({
+        p.y for p, layer in layout.ports.values() if layer is Layer.POLY
+    })
+    if len(ys) < 2:
+        raise SignoffError("need two signal-port tracks to short")
+    layout.add(Layer.POLY, Rect(8, ys[0], 10, ys[1] + 1))
     return (
         Mutation(
             "lvs-shorted-tracks", "lvs", "mismatch",
-            "poly bridge merging the p_in track with the s_in track",
+            "poly bridge merging two adjacent signal-port tracks",
         ),
         _with_layout(b, layout),
     )
 
 
-def lvs_missing_contact() -> Tuple[Mutation, CellBundle]:
+def lvs_missing_contact(bundle: CellBundle = None) -> Tuple[Mutation, CellBundle]:
     """Drop the diffusion-metal contact on the first device's source."""
-    b = comparator_bundle(True)
+    b = bundle or comparator_bundle(True)
     layout = _copy_layout(b.layout)
-    probe = Point(18, 6)  # source stub contact of device 0 (pass_p)
+    probe = Point(18, 6)  # source stub contact of device 0
     cuts = layout.rects.get(Layer.CONTACT, [])
     keep = [c for c in cuts if not c.contains_point(probe)]
     if len(keep) != len(cuts) - 1:
@@ -119,16 +130,16 @@ def lvs_missing_contact() -> Tuple[Mutation, CellBundle]:
     return (
         Mutation(
             "lvs-missing-contact", "lvs", "mismatch",
-            "source contact of the p-input pass transistor removed "
+            "source contact of the first pass transistor removed "
             "(an open: the device floats off its net)",
         ),
         _with_layout(b, layout),
     )
 
 
-def erc_undersized_pullup() -> Tuple[Mutation, CellBundle]:
+def erc_undersized_pullup(bundle: CellBundle = None) -> Tuple[Mutation, CellBundle]:
     """Shrink the first depletion gate from L=8 to L=2: ratio collapses."""
-    b = comparator_bundle(True)
+    b = bundle or comparator_bundle(True)
     layout = _copy_layout(b.layout)
     site = next(p for p, dep in b.sticks.transistor_sites() if dep)
     half = PULLUP_L // 2
@@ -149,20 +160,22 @@ def erc_undersized_pullup() -> Tuple[Mutation, CellBundle]:
     )
 
 
-def erc_misphased_transfer() -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
-    """Regate the accumulator's t_xfer onto the master's own phase.
+def erc_misphased_transfer(
+    bundle: CellBundle = None,
+) -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
+    """Regate a result cell's t_xfer onto the master's own phase.
 
     The master/slave separation of ``t`` collapses: master write, slave
     refresh, and the t' logic all fire in one phase -- the same-phase
     feedback loop the clock-discipline rule hunts."""
-    b = accumulator_bundle(True)
+    b = bundle or accumulator_bundle(True)
     circuit = _copy_circuit(b.circuit)
     idx = [
         i for i, t in enumerate(circuit.transistors)
-        if t.label.endswith("t_xfer")
+        if "t_xfer" in t.label
     ]
-    if len(idx) != 1:
-        raise SignoffError("expected exactly one t_xfer transistor")
+    if not idx:
+        raise SignoffError("cell has no t_xfer transistor to regate")
     t = circuit.transistors[idx[0]]
     circuit.transistors[idx[0]] = replace(t, gate=b.clocks[0])
     ports = tuple(sorted(set(b.ports.values()) - set(b.clocks)))
@@ -176,11 +189,13 @@ def erc_misphased_transfer() -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], 
     )
 
 
-def timing_unbuffered_chain() -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
-    """Hang a 50-stage unbuffered pass chain off the comparator output."""
-    b = comparator_bundle(True)
+def timing_unbuffered_chain(
+    bundle: CellBundle = None, port: str = "d_out",
+) -> Tuple[Mutation, Tuple[Circuit, Tuple[str, ...], Tuple[str, ...]]]:
+    """Hang a 50-stage unbuffered pass chain off a cell output."""
+    b = bundle or comparator_bundle(True)
     circuit = _copy_circuit(b.circuit)
-    prev = b.ports["d_out"]
+    prev = b.ports[port]
     for i in range(50):
         nxt = f"chain{i}"
         circuit.add_enhancement(VDD, prev, nxt, label=f"chain.{i}")

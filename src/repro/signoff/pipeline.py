@@ -214,11 +214,46 @@ class Signoff:
         report.stages.append(self.assembly_stage(columns, char_bits))
         return report
 
+    def run_design(self, compiled) -> SignoffReport:
+        """Full signoff of a compiler-generated design.
+
+        The same gauntlet as :meth:`run_chip`, but over whatever cells,
+        netlist, and floorplan the compiler emitted: DRC / extraction /
+        LVS for every generated cell twin, ERC + timing on the generated
+        whole-chip transistor netlist, and the assembly audits on the
+        generated floorplan and CIF.  ``compiled`` is a
+        :class:`~repro.compiler.flow.CompiledChip`.
+        """
+        report = SignoffReport(compiled.spec.name)
+        drc = StageReport("drc")
+        extraction = StageReport("extraction")
+        lvs = StageReport("lvs")
+        for name in sorted(compiled.bundles):
+            b = compiled.bundles[name]
+            drc.extend(self.drc_stage(b).findings)
+            ex_stage, ex = self.extraction_stage(b)
+            extraction.extend(ex_stage.findings)
+            lvs.extend(self.lvs_stage(b, ex).findings)
+        report.stages.append(drc)
+        report.stages.append(extraction)
+        report.stages.append(lvs)
+
+        net = compiled.netlist
+        ports = sorted(net.pins.values())
+        report.stages.append(self.erc_stage(net.circuit, net.phi, ports))
+        report.stages.append(self.timing_stage(net.circuit, net.phi, ports))
+        report.stages.append(self.assembly_stage_for(compiled.assembler))
+        return report
+
     # -- assembly audits ---------------------------------------------------
 
     def assembly_stage(self, columns: int, char_bits: int) -> StageReport:
+        """Assembly audits of the hand-built prototype chip."""
+        return self.assembly_stage_for(ChipAssembler(columns, char_bits))
+
+    def assembly_stage_for(self, asm) -> StageReport:
+        """Assembly audits of any :class:`~repro.layout.assembly.ArrayAssembler`."""
         stage = StageReport("assembly")
-        asm = ChipAssembler(columns, char_bits)
         fp = asm.floorplan()
 
         # Floorplan: instances must not overlap, pads must sit on the die

@@ -228,6 +228,31 @@ class WorkloadSpec:
             for v, m in zip(validated, merged_all)
         ]
 
+    def compile_chip(self, cells: int, char_bits: int = 2, data_bits: int = 2):
+        """Compile this workload to silicon (see :mod:`repro.compiler`).
+
+        Only the kernels with a cell library -- ``match``, ``count`` and
+        ``inner-product`` -- are compilable; the rest raise
+        :class:`~repro.errors.WorkloadError`.
+
+        >>> WORKLOADS["match"].compile_chip(4).spec.name
+        'match_4x2'
+        >>> WORKLOADS["fir"].compile_chip(4)  # doctest: +IGNORE_EXCEPTION_DETAIL
+        Traceback (most recent call last):
+            ...
+        WorkloadError: workload 'fir' has no chip compiler backend ...
+        """
+        from ..compiler import KERNELS, compile_workload
+
+        if self.name not in KERNELS:
+            raise WorkloadError(
+                f"workload {self.name!r} has no chip compiler backend "
+                f"(compilable: {', '.join(KERNELS)})"
+            )
+        return compile_workload(
+            self.name, cells, char_bits=char_bits, data_bits=data_bits
+        )
+
 
 WORKLOADS: Dict[str, WorkloadSpec] = {}
 

@@ -1,0 +1,155 @@
+"""Switch-level unit tests for the compiler's result cells.
+
+The counter and multiply-accumulate cells follow the accumulator's
+clocking idiom: input latches on the cell's own phase, the t master
+updated the same phase, the t slave refreshed on the other phase.  Each
+test drives one isolated cell through a hand-checked sequence on both
+polarity twins and compares every emitted result word against the
+arithmetic model.
+
+The first beat is always a lambda clear with its output excluded: out of
+power-up the t store holds garbage (UNKNOWN nodes resolve high through
+the loads), and the first lambda fire is what clears it -- the same
+invariant the array relies on, where every sampled window is preceded by
+a lambda reset.
+"""
+
+import pytest
+
+from repro.circuit.cells.counter import build_counter, counter_devices
+from repro.circuit.cells.mac import build_mac, mac_devices
+from repro.circuit.netlist import Circuit
+from repro.circuit.signals import HIGH, LOW, UNKNOWN
+from repro.errors import CircuitError
+
+
+def _pulse(c, phase):
+    c.set_input(phase, HIGH)
+    c.settle()
+    c.advance_time(100.0)
+    c.set_input(phase, LOW)
+    c.settle()
+    c.advance_time(25.0)
+
+
+class _Harness:
+    """Drive one cell's ports with polarity-corrected logic levels."""
+
+    def __init__(self, circuit, ports, positive, result_bits):
+        self.c = circuit
+        self.ports = ports
+        self.inv_in = not positive   # negative twin takes complemented inputs
+        self.inv_out = positive      # positive twin emits complemented outputs
+        self.result_bits = result_bits
+        circuit.set_input("clkA", LOW)
+        circuit.set_input("clkB", LOW)
+
+    def drive(self, name, bit):
+        v = bool(bit) ^ self.inv_in
+        self.c.set_input(self.ports[name], HIGH if v else LOW)
+
+    def beat(self):
+        _pulse(self.c, "clkA")   # the cell fires
+        word = self.read_result()
+        _pulse(self.c, "clkB")   # slave refresh
+        return word
+
+    def read_result(self):
+        val = 0
+        for i in range(self.result_bits):
+            v = self.c.read(self.ports[f"r_out{i}"])
+            if v is UNKNOWN:
+                return None
+            val |= int((v is HIGH) ^ self.inv_out) << i
+        return val
+
+
+@pytest.mark.parametrize("positive", [True, False])
+def test_counter_counts_emits_and_passes_through(positive):
+    bits = 4
+    c = Circuit("cnt")
+    ports = build_counter(c, "u.", "clkA", "clkB", bits, positive=positive)
+    h = _Harness(c, ports, positive, bits)
+
+    # (lam, x, d, r_in): increment on x OR d; on lambda emit t and clear;
+    # otherwise latch r_in through (the systolic result stream).
+    seq = [
+        (1, 0, 0, 0),   # power-up clear (output unscored)
+        (0, 0, 1, 0),   # t=1
+        (0, 1, 0, 0),   # t=2 (wildcard counts)
+        (0, 0, 0, 0),   # t=2
+        (1, 0, 1, 0),   # emit 3, clear
+        (0, 0, 1, 5),   # t=1, r stream passes 5 through
+        (1, 0, 0, 0),   # emit 1
+    ]
+    model_t, outs, expected = 0, [], []
+    for n, (lam, x, d, rv) in enumerate(seq):
+        h.drive("lam_in", lam)
+        h.drive("x_in", x)
+        h.drive("d_in", d)
+        for i in range(bits):
+            h.drive(f"r_in{i}", (rv >> i) & 1)
+        word = h.beat()
+        t2 = (model_t + (1 if (x or d) else 0)) % (1 << bits)
+        if lam:
+            out, model_t = t2, 0
+        else:
+            out, model_t = rv, t2
+        if n > 0:
+            outs.append(word)
+            expected.append(out)
+    assert outs == expected
+
+
+@pytest.mark.parametrize("positive", [True, False])
+def test_mac_multiplies_accumulates_and_passes_through(positive):
+    B, R = 2, 6
+    c = Circuit("mac")
+    ports = build_mac(c, "u.", "clkA", "clkB", B, R, positive=positive)
+    h = _Harness(c, ports, positive, R)
+
+    # (lam, p, s, r_in): t += p * s; emit and clear on lambda.
+    seq = [
+        (1, 0, 0, 0),    # power-up clear (output unscored)
+        (0, 3, 2, 0),    # t=6
+        (0, 1, 3, 0),    # t=9
+        (1, 2, 2, 0),    # emit 13, clear
+        (0, 0, 3, 42),   # r stream passes 42 through
+        (0, 3, 3, 0),    # t=9
+        (1, 1, 1, 0),    # emit 10
+    ]
+    model_t, outs, expected = 0, [], []
+    for n, (lam, pv, sv, rv) in enumerate(seq):
+        h.drive("lam_in", lam)
+        for b in range(B):
+            h.drive(f"p_in{b}", (pv >> b) & 1)
+            h.drive(f"s_in{b}", (sv >> b) & 1)
+        for i in range(R):
+            h.drive(f"r_in{i}", (rv >> i) & 1)
+        word = h.beat()
+        t2 = (model_t + pv * sv) % (1 << R)
+        if lam:
+            out, model_t = t2, 0
+        else:
+            out, model_t = rv, t2
+        if n > 0:
+            outs.append(word)
+            expected.append(out)
+    assert outs == expected
+
+
+def test_device_count_formulas_match_built_circuits():
+    for bits in (2, 4):
+        for positive in (True, False):
+            c = Circuit("cnt")
+            build_counter(c, "u.", "clkA", "clkB", bits, positive=positive)
+            assert c.n_transistors == counter_devices(bits, positive)
+    c = Circuit("mac")
+    build_mac(c, "u.", "clkA", "clkB", 2, 6, positive=True)
+    assert c.n_transistors == mac_devices(2, 6, True)
+
+
+def test_mac_requires_room_for_the_product():
+    c = Circuit("mac")
+    with pytest.raises(CircuitError):
+        build_mac(c, "u.", "clkA", "clkB", 3, 4, positive=True)
